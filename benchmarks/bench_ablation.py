@@ -1,0 +1,73 @@
+"""Ablation benchmarks: cost-model accuracy and rule-set contribution.
+
+DESIGN.md calls out two design choices worth ablating: the width-
+weighted work model (is the estimator faithful enough to drive plan
+choice?) and the rewrite rule set (how much does each family of rules
+contribute?).  These benches measure both on scaling HR workloads.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.workload import hr_database
+from repro.optimizer.cost import Stats, choose_plan, estimate
+from repro.optimizer.parser import parse_plan
+from repro.optimizer.rewriter import Rewriter
+from repro.optimizer.rules import DEFAULT_RULES
+
+PLANS = [
+    "pi[1](employees U students)",
+    "pi[1](employees - students)",
+    "sigma[$1>1010](employees U students)",
+    "pi[1](pi[1,2](employees) - pi[1,2](students))",
+]
+
+
+@pytest.mark.parametrize("size", [50, 200])
+def test_cost_model_agrees_with_measurement(benchmark, size):
+    """The estimator must pick the same winner as the executor."""
+    db = hr_database(random.Random(0), employees=size, students=size // 2,
+                     overlap=size // 5)
+    stats = Stats.of_database(db.snapshot())
+    agreements = []
+
+    def sweep():
+        agreements.clear()
+        for text in PLANS:
+            plan = parse_plan(text)
+            rewritten = Rewriter(db.catalog).optimize(plan)
+            est_rewrite = estimate(rewritten, stats).work <= estimate(plan, stats).work
+            measured_rewrite = db.run(rewritten).work <= db.run(plan).work
+            agreements.append(est_rewrite == measured_rewrite)
+        return agreements
+
+    result = benchmark(sweep)
+    accuracy = sum(result) / len(result)
+    print(f"\ncost-model winner-agreement @ n={size}: "
+          f"{sum(result)}/{len(result)} plans ({accuracy:.0%})")
+    assert accuracy >= 0.75
+
+
+@pytest.mark.parametrize("rule_subset", ["none", "union-only", "all"])
+def test_rule_set_contribution(benchmark, rule_subset):
+    """Measured work with progressively larger rule sets."""
+    db = hr_database(random.Random(1), employees=200, students=120,
+                     overlap=30)
+    if rule_subset == "none":
+        rules = ()
+    elif rule_subset == "union-only":
+        rules = tuple(r for r in DEFAULT_RULES if "union" in r.name)
+    else:
+        rules = DEFAULT_RULES
+
+    def total_work():
+        total = 0
+        for text in PLANS:
+            plan = parse_plan(text)
+            rewriter = Rewriter(db.catalog, rules=rules)
+            total += db.run(rewriter.optimize(plan)).work
+        return total
+
+    work = benchmark(total_work)
+    print(f"\ntotal measured work with rule set '{rule_subset}': {work}")

@@ -1,0 +1,23 @@
+"""Benchmarks for the extension experiments (full-paper material)."""
+
+from conftest import run_experiment
+
+
+def test_bags(benchmark):
+    """Bag algebra genericity under support-based extensions."""
+    run_experiment(benchmark, "E-BAGS")
+
+
+def test_fixpoint(benchmark):
+    """Transitive-closure genericity (fixpoint/while thread)."""
+    run_experiment(benchmark, "E-FIX")
+
+
+def test_church_lists(benchmark):
+    """Lists via Church encodings in pure System F."""
+    run_experiment(benchmark, "E-CHURCH", rounds=2)
+
+
+def test_search_ablation(benchmark):
+    """Counterexample search effort vs domain size."""
+    run_experiment(benchmark, "E-ABLATION-SEARCH", rounds=2)

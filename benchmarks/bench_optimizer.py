@@ -1,0 +1,18 @@
+"""Benchmarks for the Section 4.4 optimizer experiments."""
+
+from conftest import run_experiment
+
+
+def test_opt_equivalences(benchmark):
+    """The Section 4.4 rewrites, verified end to end."""
+    run_experiment(benchmark, "E-OPT")
+
+
+def test_opt_cost_sweep(benchmark):
+    """Measured work reduction of the justified rewrites at scale."""
+    run_experiment(benchmark, "E-OPT-COST", rounds=2)
+
+
+def test_static_soundness(benchmark):
+    """Static genericity analysis verified against dynamic search."""
+    run_experiment(benchmark, "E-STATIC")

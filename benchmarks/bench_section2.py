@@ -1,0 +1,53 @@
+"""Benchmarks regenerating the Section 2 experiment tables."""
+
+from conftest import run_experiment
+
+
+def test_example_2_2(benchmark):
+    """Example 2.2: composition query vs strong/regular homomorphisms."""
+    run_experiment(benchmark, "E-2.2", rounds=3)
+
+
+def test_example_2_6(benchmark):
+    """Example 2.6: rel vs strong extension modes on the paper's data."""
+    run_experiment(benchmark, "E-2.6", rounds=3)
+
+
+def test_prop_2_8(benchmark):
+    """Prop 2.8: structural properties of extensions."""
+    run_experiment(benchmark, "E-2.8", rounds=2)
+
+
+def test_queries_q3_q4(benchmark):
+    """Definition 2.9's Q3/Q4 examples."""
+    run_experiment(benchmark, "E-2.9")
+
+
+def test_prop_2_10(benchmark):
+    """Prop 2.10: lattice monotonicity."""
+    run_experiment(benchmark, "E-2.10")
+
+
+def test_prop_2_11(benchmark):
+    """Prop 2.11: functional vs general mappings coincide."""
+    run_experiment(benchmark, "E-2.11")
+
+
+def test_lemma_2_12(benchmark):
+    """Lemma 2.12: `even` vs strict constant preservation."""
+    run_experiment(benchmark, "E-2.12")
+
+
+def test_prop_2_13(benchmark):
+    """Prop 2.13: predicate preservation symmetric under negation."""
+    run_experiment(benchmark, "E-2.13", rounds=2)
+
+
+def test_query_q5(benchmark):
+    """Section 2.4/2.5: Q5 and constant/predicate preservation."""
+    run_experiment(benchmark, "E-Q5")
+
+
+def test_order_preservation(benchmark):
+    """Section 2.5: order predicates and monotone mappings."""
+    run_experiment(benchmark, "E-ORDER")

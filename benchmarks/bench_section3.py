@@ -1,0 +1,48 @@
+"""Benchmarks regenerating the Section 3 experiment tables."""
+
+from conftest import run_experiment
+
+
+def test_prop_3_1_3_2(benchmark):
+    """Prop 3.1 / Cor 3.2: the fully generic sublanguage."""
+    run_experiment(benchmark, "E-3.1/3.2")
+
+
+def test_prop_3_3(benchmark):
+    """Prop 3.3: restricted calculus fragment fully generic."""
+    run_experiment(benchmark, "E-3.3")
+
+
+def test_prop_3_4(benchmark):
+    """Prop 3.4: -, intersect break rel-full genericity."""
+    run_experiment(benchmark, "E-3.4", rounds=2)
+
+
+def test_prop_3_5(benchmark):
+    """Prop 3.5: eq_adom separates the two extension modes."""
+    run_experiment(benchmark, "E-3.5", rounds=2)
+
+
+def test_prop_3_6(benchmark):
+    """Prop 3.6: strong genericity and hat-selection."""
+    run_experiment(benchmark, "E-3.6")
+
+
+def test_prop_3_7_3_8(benchmark):
+    """Props 3.7/3.8: complements under total+surjective mappings."""
+    run_experiment(benchmark, "E-3.7/3.8")
+
+
+def test_thm_3_9(benchmark):
+    """Thm 3.9: the four-Russians instance."""
+    run_experiment(benchmark, "E-3.9", rounds=2)
+
+
+def test_table1(benchmark):
+    """The master classification table across the full catalog."""
+    run_experiment(benchmark, "E-TABLE1")
+
+
+def test_inexpressibility(benchmark):
+    """Genericity as an inexpressibility tool (Section 1)."""
+    run_experiment(benchmark, "E-INEXPR")

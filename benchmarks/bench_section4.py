@@ -1,0 +1,33 @@
+"""Benchmarks regenerating the Section 4 experiment tables."""
+
+from conftest import run_experiment
+
+
+def test_parametricity_prelude(benchmark):
+    """Thm 4.4: parametricity of the System F prelude."""
+    run_experiment(benchmark, "E-4.4", rounds=2)
+
+
+def test_prop_4_16(benchmark):
+    """Prop 4.16: nest parity is generic but not parametric."""
+    run_experiment(benchmark, "E-4.16")
+
+
+def test_lemma_4_6(benchmark):
+    """Lemma 4.6: toset vs the rel set extension."""
+    run_experiment(benchmark, "E-4.6", rounds=2)
+
+
+def test_example_4_14(benchmark):
+    """Example 4.14: LtoS type classification."""
+    run_experiment(benchmark, "E-4.14", rounds=3)
+
+
+def test_transfer(benchmark):
+    """Thm 4.13: list relatedness transfers to analogous sets."""
+    run_experiment(benchmark, "E-4.13", rounds=2)
+
+
+def test_cor_4_15(benchmark):
+    """Cor 4.15: set parametricity via list analogues."""
+    run_experiment(benchmark, "E-4.15", rounds=2)

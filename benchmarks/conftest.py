@@ -1,0 +1,24 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one experiment table (the reproduction's
+stand-in for the paper's tables/figures), asserts the reproduced
+behaviour matches the paper, times the reproduction, and prints the
+table so `pytest benchmarks/ --benchmark-only` output doubles as the
+results appendix (EXPERIMENTS.md is generated from the same runs).
+"""
+
+import pytest
+
+from repro.experiments.registry import run
+from repro.experiments.report import render
+
+
+def run_experiment(benchmark, exp_id: str, rounds: int = 1):
+    """Benchmark one experiment and print its table."""
+    result = benchmark.pedantic(
+        lambda: run(exp_id), rounds=rounds, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render(result))
+    assert result.matches_paper, f"{exp_id} diverged from the paper: {result.notes}"
+    return result

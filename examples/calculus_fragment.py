@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""The restricted calculus fragment of Proposition 3.3, interactively.
+
+Builds calculus queries inside and outside the fully generic fragment
+(no repeated variables in atoms, same-variable disjunction, disjoint
+conjunction, existential quantification), evaluates them over a small
+database, and shows the genericity boundary empirically: the fragment
+queries survive arbitrary mappings, the equality-using ones do not.
+
+Run with:  python examples/calculus_fragment.py
+"""
+
+from repro.algebra import (
+    And,
+    Atom,
+    CalculusError,
+    CalculusQuery,
+    EqAtom,
+    Exists,
+    Or,
+    restricted_fragment_ok,
+)
+from repro.genericity import GenericitySpec, find_counterexample
+from repro.mappings.extensions import REL
+from repro.types.ast import INT, set_of
+from repro.types.values import cvset, tup
+
+
+def main() -> None:
+    db = {
+        "R": cvset(tup(1, 2), tup(2, 3), tup(3, 1)),
+        "S": cvset(tup(2,), tup(4,)),
+    }
+
+    # --- inside the fragment -------------------------------------------
+    fragment_queries = {
+        "{x | exists y. R(x,y)}": CalculusQuery(
+            ("x",), Exists("y", Atom("R", ("x", "y")))
+        ),
+        "{(x,y) | R(x,y) or R(y,x)}": CalculusQuery(
+            ("x", "y"), Or(Atom("R", ("x", "y")), Atom("R", ("y", "x")))
+        ),
+        "{(x,y,z) | R(x,y) and S(z)}": CalculusQuery(
+            ("x", "y", "z"),
+            And(Atom("R", ("x", "y")), Atom("S", ("z",))),
+        ),
+    }
+    print("queries INSIDE the Prop 3.3 fragment:")
+    for text, query in fragment_queries.items():
+        print(f"  {text}")
+        print(f"    answer: {query.evaluate(db)}")
+
+    # --- violations rejected at construction ----------------------------
+    print()
+    print("violations rejected at construction time:")
+    try:
+        CalculusQuery(("x",), Atom("R", ("x", "x")))
+    except CalculusError as error:
+        print(f"  R(x,x) [repeated variable]: {error}")
+    bad_or = Or(Atom("R", ("x", "y")), Atom("S", ("x",)))
+    print(f"  different-variable OR in fragment? "
+          f"{restricted_fragment_ok(bad_or)}")
+    print(f"  equality atom in fragment? "
+          f"{restricted_fragment_ok(EqAtom('x', 'y'))}")
+
+    # --- the genericity boundary ----------------------------------------
+    print()
+    print("genericity boundary (randomized search vs ALL mappings):")
+    spec = GenericitySpec("all", "all")
+    inside = fragment_queries["{x | exists y. R(x,y)}"].as_query(("R",))
+    search = find_counterexample(
+        inside, spec, REL, trials=120,
+        input_type=set_of(INT * INT),
+    )
+    print(f"  fragment query: counterexample found = {search.found} "
+          f"(expected False — Prop 3.3)")
+
+    outside = CalculusQuery(
+        ("x", "y"),
+        And(Atom("R", ("x", "y")), EqAtom("x", "y")),
+        strict=False,
+    ).as_query(("R",))
+    search2 = find_counterexample(
+        outside, spec, REL, trials=200,
+        input_type=set_of(INT * INT),
+    )
+    print(f"  equality query:  counterexample found = {search2.found} "
+          f"(expected True — equality leaves the fragment)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Free theorems and the list-to-set transfer, end to end.
+
+Derives Wadler-style free theorems for the System F prelude, validates
+their functional specializations on concrete data, then runs the
+paper's Section 4.2 pipeline: transfer parametricity from list functions
+to their set analogues (Corollary 4.15), including the negative case
+(``count`` has no set analogue).
+
+Run with:  python examples/free_theorems_tour.py
+"""
+
+from repro.lambda2 import (
+    build_prelude,
+    check_functional_instance,
+    check_parametricity,
+    derive,
+)
+from repro.listset import (
+    cardinality,
+    is_ltos,
+    poly,
+    set_union,
+    to_set_type,
+    transfer_parametricity,
+)
+from repro.types.ast import INT
+from repro.types.parser import parse_type
+from repro.types.values import Tup, cvlist
+
+
+def main() -> None:
+    prelude = build_prelude()
+
+    # ------------------------------------------------------------------
+    # 1. Free theorems from types alone.
+    # ------------------------------------------------------------------
+    for name in ("append", "count", "filter", "zip"):
+        theorem = derive(name, prelude.type_of(name))
+        print(theorem)
+        print()
+
+    # ------------------------------------------------------------------
+    # 2. Validate append's law on data: append . (map f x map f)
+    #    == map f . append, for an arbitrary f.
+    # ------------------------------------------------------------------
+    theorem = derive("append", prelude.type_of("append"))
+    violation = check_functional_instance(
+        theorem,
+        prelude.value("append")[INT],
+        {"X": lambda v: v * 3 + 1},
+        [
+            Tup((cvlist(1, 2), cvlist(3))),
+            Tup((cvlist(), cvlist(0, 0))),
+        ],
+    )
+    print("append law violated?", violation)
+
+    # ------------------------------------------------------------------
+    # 3. The eq-type refinement: list difference is parametric only at
+    #    forall X= (injective instances).
+    # ------------------------------------------------------------------
+    ok = check_parametricity(
+        prelude.value("difference"), prelude.type_of("difference"),
+        "difference",
+    )
+    bad = check_parametricity(
+        prelude.value("difference"),
+        parse_type("forall X. <X> * <X> -> <X>"),
+        "difference",
+    )
+    print(f"difference parametric at {prelude.type_of('difference')}:",
+          ok.parametric)
+    print("difference parametric at forall X (no equality):", bad.parametric)
+
+    # ------------------------------------------------------------------
+    # 4. Lists to sets (Cor 4.15): union inherits append's
+    #    parametricity; cardinality does NOT inherit count's.
+    # ------------------------------------------------------------------
+    append_type = prelude.type_of("append")
+    print()
+    print(f"append type {append_type} is LtoS:", is_ltos(append_type))
+    print(f"  related set type: {to_set_type(append_type)}")
+    samples = [Tup((cvlist(0, 1), cvlist(1, 2))), Tup((cvlist(0, 0), cvlist()))]
+    report = transfer_parametricity(
+        "append", prelude.value("append"), poly(set_union), append_type,
+        samples,
+    )
+    print("  transfer to union:", report)
+
+    count_type = prelude.type_of("count")
+    report2 = transfer_parametricity(
+        "count", prelude.value("count"), poly(cardinality), count_type,
+        [cvlist(0, 0), cvlist(1)],
+    )
+    print("  transfer count -> cardinality:", report2)
+    print("  (analogy fails on duplicate lists: count<0,0> = 2 but the")
+    print("   analogous set {0} has cardinality 1 — the paper's point")
+    print("   that some list functions have no set analogue.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: the offline environment lacks the ``wheel`` package, so
+PEP 517 editable installs fail; this enables the legacy code path."""
+from setuptools import setup
+
+setup()

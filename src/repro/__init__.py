@@ -1,0 +1,17 @@
+"""repro — executable reproduction of "On Genericity and Parametricity"
+(Beeri, Milo & Ta-Shma, PODS 1996).
+
+Subpackages:
+
+* :mod:`repro.types` — complex-value and 2nd-order type system.
+* :mod:`repro.mappings` — relational mappings and rel/strong extensions.
+* :mod:`repro.algebra` — relational / nested algebra and calculus substrate.
+* :mod:`repro.genericity` — invariance checking and genericity classification.
+* :mod:`repro.lambda2` — System F with parametricity checking.
+* :mod:`repro.listset` — the list-to-set parametricity transfer.
+* :mod:`repro.optimizer` — genericity/parametricity-justified query rewrites.
+* :mod:`repro.engine` — in-memory database engine and workloads.
+* :mod:`repro.experiments` — one experiment per numbered claim of the paper.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,248 @@
+"""The restricted relational calculus fragment of Proposition 3.3.
+
+The paper proves fully generic (both modes) every query expressed in the
+relational calculus using only:
+
+* atomic formulas ``R(x1, ..., xn)`` with **no repeated variables**;
+* disjunction of formulas with the **same** free variables;
+* conjunction of formulas with **disjoint** variable sets;
+* existential quantification.
+
+This module implements that fragment with the restrictions *enforced at
+construction time*, plus an unrestricted fragment (equality atoms,
+repeated variables) used to exhibit the contrast in the experiments.
+
+A database is a mapping from relation names to relations (``CVSet`` of
+``Tup``); evaluation is standard active-domain bottom-up evaluation
+producing the set of head-variable bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping as TMapping, Sequence
+
+from ..types.ast import Product, SetType, TypeVar
+from ..types.values import CVSet, Tup, Value
+from .query import Query
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Or",
+    "And",
+    "Exists",
+    "EqAtom",
+    "CalculusError",
+    "CalculusQuery",
+    "restricted_fragment_ok",
+]
+
+
+class CalculusError(Exception):
+    """Raised when a formula violates the fragment restrictions."""
+
+
+@dataclass(frozen=True)
+class Formula:
+    """Abstract formula node."""
+
+    def free_vars(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """``R(x1, ..., xn)`` — variables must be pairwise distinct in the
+    restricted fragment (checked by :func:`restricted_fragment_ok`)."""
+
+    relation: str
+    variables: tuple[str, ...]
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset(self.variables)
+
+
+@dataclass(frozen=True)
+class EqAtom(Formula):
+    """``x = y`` — *outside* the restricted fragment; used for contrast."""
+
+    left: str
+    right: str
+
+    def free_vars(self) -> frozenset[str]:
+        return frozenset({self.left, self.right})
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction; restricted fragment demands equal free-variable sets."""
+
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> frozenset[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction; restricted fragment demands disjoint variable sets."""
+
+    left: Formula
+    right: Formula
+
+    def free_vars(self) -> frozenset[str]:
+        return self.left.free_vars() | self.right.free_vars()
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one variable."""
+
+    var: str
+    body: Formula
+
+    def free_vars(self) -> frozenset[str]:
+        return self.body.free_vars() - {self.var}
+
+
+def restricted_fragment_ok(f: Formula) -> bool:
+    """Check membership in the Prop 3.3 fragment."""
+    if isinstance(f, Atom):
+        return len(set(f.variables)) == len(f.variables)
+    if isinstance(f, EqAtom):
+        return False
+    if isinstance(f, Or):
+        return (
+            f.left.free_vars() == f.right.free_vars()
+            and restricted_fragment_ok(f.left)
+            and restricted_fragment_ok(f.right)
+        )
+    if isinstance(f, And):
+        return (
+            not (f.left.free_vars() & f.right.free_vars())
+            and restricted_fragment_ok(f.left)
+            and restricted_fragment_ok(f.right)
+        )
+    if isinstance(f, Exists):
+        return restricted_fragment_ok(f.body)
+    raise CalculusError(f"unknown formula node: {f!r}")
+
+
+Assignment = tuple[tuple[str, Value], ...]
+
+
+def _assignments(
+    f: Formula, db: TMapping[str, CVSet], adom: frozenset
+) -> set[Assignment]:
+    """Bottom-up evaluation to sets of sorted variable assignments."""
+    if isinstance(f, Atom):
+        out: set[Assignment] = set()
+        relation = db.get(f.relation, CVSet())
+        for t in relation:
+            if len(t) != len(f.variables):
+                raise CalculusError(
+                    f"arity mismatch: {f.relation} has {len(t)} columns, "
+                    f"atom has {len(f.variables)} variables"
+                )
+            binding: dict[str, Value] = {}
+            consistent = True
+            for var, value in zip(f.variables, t):
+                if var in binding and binding[var] != value:
+                    consistent = False
+                    break
+                binding[var] = value
+            if consistent:
+                out.add(tuple(sorted(binding.items())))
+        return out
+    if isinstance(f, EqAtom):
+        return {
+            tuple(sorted({f.left: a, f.right: a}.items()))
+            for a in adom
+        }
+    if isinstance(f, Or):
+        return _assignments(f.left, db, adom) | _assignments(f.right, db, adom)
+    if isinstance(f, And):
+        left = _assignments(f.left, db, adom)
+        right = _assignments(f.right, db, adom)
+        out = set()
+        for a in left:
+            da = dict(a)
+            for b in right:
+                dbd = dict(b)
+                if all(da.get(k, v) == v for k, v in dbd.items()):
+                    merged = dict(da)
+                    merged.update(dbd)
+                    out.add(tuple(sorted(merged.items())))
+        return out
+    if isinstance(f, Exists):
+        inner = _assignments(f.body, db, adom)
+        return {
+            tuple((k, v) for k, v in a if k != f.var)
+            for a in inner
+        }
+    raise CalculusError(f"unknown formula node: {f!r}")
+
+
+class CalculusQuery:
+    """``{ (x1, ..., xk) | phi }`` over a named-relation database.
+
+    ``strict=True`` (default) enforces the Prop 3.3 fragment.
+    """
+
+    def __init__(
+        self,
+        head: Sequence[str],
+        formula: Formula,
+        strict: bool = True,
+    ) -> None:
+        self.head = tuple(head)
+        self.formula = formula
+        if strict and not restricted_fragment_ok(formula):
+            raise CalculusError(
+                "formula outside the restricted fragment of Prop 3.3"
+            )
+        if set(self.head) != set(formula.free_vars()):
+            raise CalculusError(
+                f"head variables {self.head} must equal free variables "
+                f"{sorted(formula.free_vars())}"
+            )
+
+    def evaluate(self, db: TMapping[str, CVSet]) -> CVSet:
+        """Evaluate against a database mapping names to relations."""
+        adom: set = set()
+        for relation in db.values():
+            for t in relation:
+                adom |= set(t)
+        result = _assignments(self.formula, db, frozenset(adom))
+        return CVSet(
+            Tup(dict(a)[var] for var in self.head) for a in result
+        )
+
+    def as_query(self, relation_names: Sequence[str]) -> Query:
+        """Package as a :class:`Query` over a tuple of input relations.
+
+        The input value is ``Tup((R1, ..., Rn))`` in the order of
+        ``relation_names``; types use one shared variable per column of
+        the restricted fragment (all columns range over the same
+        abstract domain)."""
+        names = tuple(relation_names)
+
+        def fn(v: Value) -> Value:
+            relations = v if isinstance(v, Tup) else Tup((v,))
+            return self.evaluate(dict(zip(names, relations)))
+
+        x = TypeVar("X")
+        # Arities are not statically known here; expose a nominal type.
+        input_type = Product(tuple(SetType(x) for _ in names)) if len(names) > 1 else SetType(x)
+        output_type = SetType(Product(tuple(x for _ in self.head)))
+        return Query(
+            name=f"calc[{','.join(self.head)}]",
+            fn=fn,
+            input_type=input_type,
+            output_type=output_type,
+        )
+
+    def __repr__(self) -> str:
+        return f"CalculusQuery({self.head} | {self.formula})"

@@ -1,0 +1,97 @@
+"""Derived relational operators: division, semijoin, antijoin.
+
+Classical derived operators, each expressible in the algebra fragments
+Section 3 classifies — so their genericity profiles follow from the
+closure results and are checked in the catalog experiments:
+
+* **semijoin** ``R |>< S``: keeps the R-tuples with a join partner.
+  Equality is used but *eliminated from the output* (no S column
+  survives), so like sigma-hat it is strong-fully generic and
+  rel-generic from the injective class down.
+* **antijoin** ``R |>< not S``: complement of the semijoin inside R;
+  composed of strong-closed operations, same profile.
+* **division** ``R / S`` (for binary R, unary S): the tuples ``a`` with
+  ``(a, b) in R`` for *every* ``b in S``.  Expressible as
+  ``pi_1(R) - pi_1((pi_1(R) x S) - R)`` — again strong-side only.
+"""
+
+from __future__ import annotations
+
+from ..types.ast import Product, SetType, TypeVar
+from ..types.values import CVSet, Tup, Value
+from .query import Query
+
+__all__ = ["semijoin", "antijoin", "division"]
+
+
+def semijoin(on: int = 0) -> Query:
+    """``R |>< S`` joining R's column ``on`` with unary S."""
+    x, y = TypeVar("X"), TypeVar("Y")
+
+    def fn(pair: Value) -> Value:
+        r, s = pair
+        keys = {t[0] for t in s}
+        return CVSet(t for t in r if t[on] in keys)
+
+    left = Product((x, y)) if on == 1 else Product((x, y))
+    key_var = y if on == 1 else x
+    return Query(
+        name=f"semijoin[{on + 1}]",
+        fn=fn,
+        input_type=Product((SetType(left), SetType(Product((key_var,))))),
+        output_type=SetType(left),
+        uses_equality=True,
+        notes="equality used, not shown: sigma-hat profile",
+    )
+
+
+def antijoin(on: int = 0) -> Query:
+    """``R`` minus its semijoin with S."""
+    x, y = TypeVar("X"), TypeVar("Y")
+
+    def fn(pair: Value) -> Value:
+        r, s = pair
+        keys = {t[0] for t in s}
+        return CVSet(t for t in r if t[on] not in keys)
+
+    left = Product((x, y))
+    key_var = y if on == 1 else x
+    return Query(
+        name=f"antijoin[{on + 1}]",
+        fn=fn,
+        input_type=Product((SetType(left), SetType(Product((key_var,))))),
+        output_type=SetType(left),
+        uses_equality=True,
+    )
+
+
+def division() -> Query:
+    """``R / S`` for binary R and unary S.
+
+    Semantically: ``{a | forall b in S. (a, b) in R}``; for empty S
+    every first-column value qualifies (the standard convention via the
+    algebraic definition)."""
+    x, y = TypeVar("X"), TypeVar("Y")
+
+    def fn(pair: Value) -> Value:
+        r, s = pair
+        required = {t[0] for t in s}
+        by_first: dict[Value, set] = {}
+        for t in r:
+            by_first.setdefault(t[0], set()).add(t[1])
+        return CVSet(
+            Tup((a,))
+            for a, seconds in by_first.items()
+            if required <= seconds
+        )
+
+    return Query(
+        name="division",
+        fn=fn,
+        input_type=Product(
+            (SetType(Product((x, y))), SetType(Product((y,))))
+        ),
+        output_type=SetType(Product((x,))),
+        uses_equality=True,
+        notes="= pi1(R) - pi1((pi1(R) x S) - R); strong-side profile",
+    )

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+.. code-block:: text
+
+    python -m repro list                      # experiment ids
+    python -m repro run E-2.2 [E-2.6 ...]     # run experiments, print tables
+    python -m repro run --all
+    python -m repro classify sigma_eq         # classify a named operation
+    python -m repro optimize "pi[1](employees - students)"
+    python -m repro writeup [path]            # regenerate EXPERIMENTS.md
+
+``classify`` accepts the named operations of the built-in catalog;
+``optimize`` runs the rewriter against the demo HR catalog and prints
+the trace with its genericity/parametricity justifications.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Callable, Optional, Sequence
+
+from .algebra.operators import (
+    eq_adom,
+    even_query,
+    hat_select_eq,
+    projection,
+    select_eq,
+    self_compose,
+    self_cross,
+    union_op,
+)
+from .algebra.query import Query
+
+__all__ = ["main", "OPERATION_CATALOG"]
+
+#: Named operations the ``classify`` subcommand understands.
+OPERATION_CATALOG: dict[str, Callable[[], Query]] = {
+    "projection": lambda: projection((0,), 2),
+    "sigma_eq": lambda: select_eq(0, 1, 2),
+    "sigma_hat": lambda: hat_select_eq(0, 1, 2),
+    "cross": self_cross,
+    "compose": self_compose,
+    "union": union_op,
+    "eq_adom": eq_adom,
+    "even": even_query,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from .experiments.registry import EXPERIMENTS
+
+    for exp_id in EXPERIMENTS:
+        print(exp_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .experiments.registry import EXPERIMENTS, run
+    from .experiments.report import render
+
+    ids = list(EXPERIMENTS) if args.all else args.ids
+    if not ids:
+        print("no experiment ids given (use --all)", file=sys.stderr)
+        return 2
+    failures = 0
+    for exp_id in ids:
+        if exp_id not in EXPERIMENTS:
+            print(f"unknown experiment {exp_id}", file=sys.stderr)
+            return 2
+        result = run(exp_id)
+        print(render(result))
+        print()
+        failures += 0 if result.matches_paper else 1
+    if failures:
+        print(f"{failures} experiment(s) diverged from the paper",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from .genericity.classify import classify
+    from .mappings.extensions import REL, STRONG
+
+    if args.operation not in OPERATION_CATALOG:
+        names = ", ".join(sorted(OPERATION_CATALOG))
+        print(f"unknown operation; choose from: {names}", file=sys.stderr)
+        return 2
+    query = OPERATION_CATALOG[args.operation]()
+    row = classify(query, trials=args.trials)
+    print(f"classification of {query.name} : "
+          f"{query.input_type} -> {query.output_type}")
+    for verdict in row.verdicts:
+        print(f"  {verdict.spec.name:18} {verdict.mode:6} {verdict.label()}")
+    for mode in (REL, STRONG):
+        tightest = row.tightest(mode)
+        print(f"  tightest {mode} class: "
+              f"{tightest.name if tightest else '(none in lattice)'}")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from .engine.workload import hr_database
+    from .optimizer.cost import Stats, choose_plan
+    from .optimizer.parser import PlanParseError, parse_plan
+    from .optimizer.rewriter import Rewriter
+
+    try:
+        plan = parse_plan(args.plan)
+    except PlanParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    db = hr_database(random.Random(args.seed), employees=args.size,
+                     students=args.size * 2 // 3, overlap=args.size // 4)
+    from .optimizer.schema_infer import SchemaInferenceError, infer_arity
+
+    try:
+        infer_arity(plan, db.catalog)
+    except SchemaInferenceError as error:
+        print(f"schema error: {error}", file=sys.stderr)
+        return 2
+    rewriter = Rewriter(db.catalog)
+    stats = Stats.of_database(db.snapshot())
+    chosen, before, after = choose_plan(plan, db.catalog, stats, rewriter)
+    print(f"original : {plan}")
+    print(f"rewritten: {rewriter.optimize(plan)}")
+    for line in rewriter.explain():
+        print(f"  applied: {line}")
+    print(f"estimated work: {before.work:.0f} -> {after.work:.0f}")
+    print(f"chosen   : {chosen}")
+    result = db.run(chosen)
+    print(f"answer ({len(result.value)} rows, measured work {result.work})")
+    if args.show_rows:
+        for row in sorted(result.value, key=repr)[: args.show_rows]:
+            print("  ", row)
+    return 0
+
+
+def _cmd_writeup(args: argparse.Namespace) -> int:
+    from .experiments.writeup import main as writeup_main
+
+    return writeup_main([args.path] if args.path else [])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="On Genericity and Parametricity (PODS '96), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids").set_defaults(
+        fn=_cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run experiments")
+    run_parser.add_argument("ids", nargs="*", help="experiment ids")
+    run_parser.add_argument("--all", action="store_true")
+    run_parser.set_defaults(fn=_cmd_run)
+
+    classify_parser = sub.add_parser(
+        "classify", help="classify a catalog operation"
+    )
+    classify_parser.add_argument("operation")
+    classify_parser.add_argument("--trials", type=int, default=30)
+    classify_parser.set_defaults(fn=_cmd_classify)
+
+    optimize_parser = sub.add_parser(
+        "optimize", help="parse, rewrite and run a plan on the demo HR db"
+    )
+    optimize_parser.add_argument("plan")
+    optimize_parser.add_argument("--size", type=int, default=60)
+    optimize_parser.add_argument("--seed", type=int, default=0)
+    optimize_parser.add_argument("--show-rows", type=int, default=0)
+    optimize_parser.set_defaults(fn=_cmd_optimize)
+
+    writeup_parser = sub.add_parser(
+        "writeup", help="regenerate EXPERIMENTS.md"
+    )
+    writeup_parser.add_argument("path", nargs="?", default="")
+    writeup_parser.set_defaults(fn=_cmd_writeup)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""In-memory database engine and synthetic workloads."""
+
+from .database import Database, SchemaError
+from .serialize import (
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+    value_from_json,
+    value_to_json,
+)
+from .workload import (
+    hr_database,
+    layered_graph,
+    paper_h_pairs,
+    paper_r1,
+    paper_r2,
+    paper_r3,
+    random_database,
+    random_graph,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,112 @@
+"""In-memory databases over a signature.
+
+A :class:`Database` is the runtime object tying together the pieces:
+named relations (sets of tuples), their declared schemas/keys (a
+:class:`~repro.optimizer.constraints.Catalog`), and the signature of
+interpreted symbols.  The optimizer and the experiments run against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping as TMapping, Optional, Sequence
+
+from ..optimizer.constraints import Catalog, RelationInfo, check_key_on_instance
+from ..optimizer.plan import ExecutionResult, Plan, execute
+from ..types.signatures import Signature, standard_signature
+from ..types.values import CVSet, Tup, Value, atoms_of
+
+__all__ = ["Database", "SchemaError"]
+
+
+class SchemaError(Exception):
+    """Raised for arity mismatches or violated declared keys."""
+
+
+class Database:
+    """Named relations + schema catalog + signature."""
+
+    def __init__(self, signature: Optional[Signature] = None) -> None:
+        self.relations: dict[str, CVSet] = {}
+        self.catalog = Catalog()
+        self.signature = signature or standard_signature()
+
+    def create(
+        self,
+        name: str,
+        arity: int,
+        keys: Sequence[Sequence[int]] = (),
+        shared_keys: Optional[dict[tuple[int, ...], str]] = None,
+    ) -> None:
+        """Declare a relation schema."""
+        self.catalog.add(
+            RelationInfo(
+                name,
+                arity,
+                tuple(tuple(k) for k in keys),
+                dict(shared_keys or {}),
+            )
+        )
+        self.relations.setdefault(name, CVSet())
+
+    def insert(self, name: str, rows: Iterable[Sequence[Value]]) -> None:
+        """Insert rows, validating arity and declared keys."""
+        if name not in self.catalog:
+            raise SchemaError(f"unknown relation {name}")
+        info = self.catalog[name]
+        tuples = [Tup(row) for row in rows]
+        for t in tuples:
+            if len(t) != info.arity:
+                raise SchemaError(
+                    f"{name} expects arity {info.arity}, got {len(t)}: {t!r}"
+                )
+        merged = self.relations[name].union(CVSet(tuples))
+        for key in info.keys:
+            if not check_key_on_instance(merged, key):
+                raise SchemaError(
+                    f"key {tuple(c + 1 for c in key)} of {name} violated"
+                )
+        self.relations[name] = merged
+
+    def __getitem__(self, name: str) -> CVSet:
+        return self.relations[name]
+
+    def __setitem__(self, name: str, relation: CVSet) -> None:
+        self.relations[name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def active_domain(self) -> frozenset:
+        """All atoms appearing anywhere in the database."""
+        out: set = set()
+        for relation in self.relations.values():
+            for t in relation:
+                out |= set(atoms_of(t))
+        return frozenset(out)
+
+    def run(self, plan: Plan) -> ExecutionResult:
+        """Execute a plan against this database."""
+        return execute(plan, self.relations)
+
+    def query(self, text: str, optimize: bool = False) -> ExecutionResult:
+        """Parse and run a textual plan (see
+        :mod:`repro.optimizer.parser`); with ``optimize=True`` the plan
+        is first rewritten against this database's catalog."""
+        from ..optimizer.parser import parse_plan
+        from ..optimizer.rewriter import Rewriter
+
+        plan = parse_plan(text)
+        if optimize:
+            plan = Rewriter(self.catalog).optimize(plan)
+        return self.run(plan)
+
+    def snapshot(self) -> dict[str, CVSet]:
+        """An immutable-enough copy of the relation map."""
+        return dict(self.relations)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in sorted(self.relations.items())
+        )
+        return f"Database({parts})"

@@ -1,0 +1,137 @@
+"""JSON (de)serialization for complex values and databases.
+
+Complex values are not plain JSON (sets and bags have no JSON
+counterpart; tuples and lists must stay distinct), so values are
+encoded as tagged nodes::
+
+    5                      atoms (int/str/float) encode as themselves
+    {"b": true}            bool atoms are tagged to survive int/bool
+    {"t": [...]}           tuple
+    {"s": [...]}           set
+    {"l": [...]}           list
+    {"m": [[v, n], ...]}   bag (multiplicities)
+
+A :class:`~repro.engine.database.Database` serializes to a dict of
+relations plus its schema catalog, enabling save/load of experiment
+workloads.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..optimizer.constraints import RelationInfo
+from ..types.values import CVBag, CVList, CVSet, Tup, Value, is_atom
+from .database import Database
+
+__all__ = [
+    "value_to_json",
+    "value_from_json",
+    "database_to_json",
+    "database_from_json",
+    "save_database",
+    "load_database",
+    "SerializeError",
+]
+
+
+class SerializeError(Exception):
+    """Raised on unserializable or malformed payloads."""
+
+
+def value_to_json(v: Value) -> Any:
+    """Encode a complex value as a JSON-compatible structure."""
+    if isinstance(v, bool):
+        return {"b": v}
+    if is_atom(v):
+        return v
+    if isinstance(v, Tup):
+        return {"t": [value_to_json(x) for x in v]}
+    if isinstance(v, CVSet):
+        return {"s": sorted((value_to_json(x) for x in v), key=repr)}
+    if isinstance(v, CVList):
+        return {"l": [value_to_json(x) for x in v]}
+    if isinstance(v, CVBag):
+        return {
+            "m": sorted(
+                ([value_to_json(x), v.count(x)] for x in v.support()),
+                key=repr,
+            )
+        }
+    raise SerializeError(f"not a complex value: {v!r}")
+
+
+def value_from_json(data: Any) -> Value:
+    """Decode the tagged representation back to a complex value."""
+    if isinstance(data, (int, float, str)) and not isinstance(data, bool):
+        return data
+    if isinstance(data, dict):
+        if set(data) == {"b"}:
+            return bool(data["b"])
+        if set(data) == {"t"}:
+            return Tup(value_from_json(x) for x in data["t"])
+        if set(data) == {"s"}:
+            return CVSet(value_from_json(x) for x in data["s"])
+        if set(data) == {"l"}:
+            return CVList(value_from_json(x) for x in data["l"])
+        if set(data) == {"m"}:
+            items = []
+            for entry in data["m"]:
+                value, count = entry
+                items.extend([value_from_json(value)] * int(count))
+            return CVBag(items)
+    raise SerializeError(f"malformed value payload: {data!r}")
+
+
+def database_to_json(db: Database) -> dict:
+    """Encode relations + schema catalog."""
+    relations = {
+        name: [value_to_json(t) for t in sorted(rel, key=repr)]
+        for name, rel in db.relations.items()
+    }
+    schema = {}
+    for name, info in db.catalog.relations.items():
+        schema[name] = {
+            "arity": info.arity,
+            "keys": [list(k) for k in info.keys],
+            "shared_keys": [
+                {"columns": list(cols), "group": group}
+                for cols, group in info.shared_keys.items()
+            ],
+        }
+    return {"relations": relations, "schema": schema}
+
+
+def database_from_json(data: dict) -> Database:
+    """Rebuild a database (relations validated against the schema)."""
+    db = Database()
+    for name, info in data.get("schema", {}).items():
+        db.create(
+            name,
+            info["arity"],
+            keys=[tuple(k) for k in info.get("keys", [])],
+            shared_keys={
+                tuple(entry["columns"]): entry["group"]
+                for entry in info.get("shared_keys", [])
+            },
+        )
+    for name, rows in data.get("relations", {}).items():
+        decoded = [value_from_json(row) for row in rows]
+        if name in db.catalog:
+            db.insert(name, [tuple(t) for t in decoded])
+        else:
+            db[name] = CVSet(decoded)
+    return db
+
+
+def save_database(db: Database, path: str) -> None:
+    """Write the database to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(database_to_json(db), handle, indent=1, sort_keys=True)
+
+
+def load_database(path: str) -> Database:
+    """Read a database from a JSON file."""
+    with open(path) as handle:
+        return database_from_json(json.load(handle))

@@ -1,0 +1,152 @@
+"""Synthetic workload generators.
+
+The paper has no datasets; these generators build the instance families
+its claims are exercised on:
+
+* random graph relations (binary) for composition/transitive-closure
+  queries (Example 2.2's Q1 is graph composition);
+* layered graphs like the paper's ``r1`` (bipartite-ish chains that have
+  interesting homomorphic collapses);
+* keyed "employees/students" relations sharing a social-security-style
+  key, the Section 4.4 optimization scenario;
+* random databases for optimizer equivalence verification.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from ..types.values import CVSet, Tup, Value
+from .database import Database
+
+__all__ = [
+    "random_graph",
+    "layered_graph",
+    "paper_r1",
+    "paper_r2",
+    "paper_r3",
+    "paper_h_pairs",
+    "hr_database",
+    "random_database",
+]
+
+
+def random_graph(
+    rng: random.Random, nodes: int, edges: int, labels: Optional[Sequence[Value]] = None
+) -> CVSet:
+    """A random directed graph as a binary relation."""
+    labels = list(labels) if labels is not None else list(range(nodes))
+    out = set()
+    attempts = 0
+    while len(out) < min(edges, nodes * nodes) and attempts < 20 * edges:
+        a, b = rng.choice(labels), rng.choice(labels)
+        out.add(Tup((a, b)))
+        attempts += 1
+    return CVSet(out)
+
+
+def layered_graph(rng: random.Random, layers: int, width: int) -> CVSet:
+    """A layered DAG: edges only between consecutive layers.
+
+    Collapsing each layer to a point is a homomorphism, making these
+    instances rich in Example 2.2-style structure."""
+    out = set()
+    for layer in range(layers - 1):
+        for i in range(width):
+            for j in range(width):
+                if rng.random() < 0.6:
+                    out.add(Tup((f"n{layer}_{i}", f"n{layer + 1}_{j}")))
+    return CVSet(out)
+
+
+def paper_r1() -> CVSet:
+    """Example 2.2's ``r1``."""
+    return CVSet(
+        Tup(pair)
+        for pair in [
+            ("e", "f"),
+            ("i", "f"),
+            ("e", "j"),
+            ("i", "j"),
+            ("f", "g"),
+            ("j", "g"),
+        ]
+    )
+
+
+def paper_r2() -> CVSet:
+    """Example 2.2's ``r2`` — the homomorphic image of ``r1``."""
+    return CVSet(Tup(pair) for pair in [("a", "b"), ("b", "c")])
+
+
+def paper_r3() -> CVSet:
+    """``r3`` — ``r1`` minus ``(e,f), (i,f), (j,g)``; maps onto ``r2``
+    only as a *regular* (non-strong) homomorphism."""
+    return CVSet(Tup(pair) for pair in [("e", "j"), ("i", "j"), ("f", "g")])
+
+
+def paper_h_pairs() -> set[tuple[str, str]]:
+    """The homomorphism ``h`` of Example 2.2."""
+    return {("e", "a"), ("i", "a"), ("f", "b"), ("j", "b"), ("g", "c")}
+
+
+def hr_database(
+    rng: random.Random,
+    employees: int,
+    students: int,
+    overlap: int = 0,
+    departments: int = 4,
+) -> Database:
+    """The Section 4.4 scenario: employees and students sharing an
+    SSN-style key in column 1.
+
+    Schema: ``employees(ssn, name, dept)``, ``students(ssn, name,
+    dept)``; ``ssn`` is a key for the *union* (declared as a shared
+    key), so ``pi_ssn`` is injective on ``employees union students`` and
+    the paper's ``pi(R - S) = pi(R) - pi(S)`` rewrite is licensed."""
+    db = Database()
+    shared = {(0,): "ssn"}
+    db.create("employees", 3, keys=[(0,)], shared_keys=shared)
+    db.create("students", 3, keys=[(0,)], shared_keys=shared)
+    db.create("contractors", 3, keys=[])  # no key: rewrite must NOT fire
+
+    def person(ssn: int) -> tuple:
+        # Deterministic per ssn: a person enrolled both as employee and
+        # student contributes the *same* tuple to both relations, which
+        # is what makes ssn a key for the union (the paper's premise).
+        return (ssn, f"person{ssn}", f"dept{ssn % departments}")
+
+    employee_ssns = list(range(1000, 1000 + employees))
+    student_ssns = list(
+        range(1000 + employees - overlap, 1000 + employees - overlap + students)
+    )
+    db.insert("employees", [person(s) for s in employee_ssns])
+    db.insert("students", [person(s) for s in student_ssns])
+    db.insert(
+        "contractors",
+        [
+            (rng.randrange(1000, 1000 + employees + students), f"c{i}", "dept0")
+            for i in range(max(1, employees // 2))
+        ],
+    )
+    return db
+
+
+def random_database(
+    rng: random.Random,
+    names: Sequence[str],
+    arity: int = 2,
+    domain_size: int = 6,
+    max_rows: int = 12,
+) -> dict[str, CVSet]:
+    """A random database for equivalence verification."""
+    domain = list(range(domain_size))
+    out = {}
+    for name in names:
+        rows = {
+            Tup(tuple(rng.choice(domain) for _ in range(arity)))
+            for _ in range(rng.randint(0, max_rows))
+        }
+        out[name] = CVSet(rows)
+    return out

@@ -1,0 +1,6 @@
+"""One executable experiment per numbered claim of the paper."""
+
+from .registry import EXPERIMENTS, run, run_all
+from .report import ExperimentResult, format_table, render
+
+__all__ = ["EXPERIMENTS", "run", "run_all", "ExperimentResult", "format_table", "render"]

@@ -1,0 +1,68 @@
+"""ASCII figures for the experiment record.
+
+The paper has no figures; the reproduction adds two, rendered as plain
+text so EXPERIMENTS.md stays self-contained:
+
+* Figure 1 — measured work of original vs optimized plans as data
+  scales (from experiment E-OPT-COST);
+* Figure 2 — counterexample-search effort vs domain size (from
+  experiment E-ABLATION-SEARCH).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .report import ExperimentResult
+
+__all__ = ["bar_chart", "figure_opt_cost", "figure_search_effort"]
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 46,
+    unit: str = "",
+) -> str:
+    """Render horizontal bars scaled to the maximum value."""
+    if not values:
+        return "(no data)"
+    peak = max(values) or 1.0
+    label_width = max(len(l) for l in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def figure_opt_cost(result: ExperimentResult) -> str:
+    """Figure 1: work before/after per plan and size (rows of
+    E-OPT-COST: size, plan, before, after, speedup)."""
+    labels = []
+    values = []
+    for size, plan, before, after, _speedup in result.rows:
+        labels.append(f"n={size} {plan} original ")
+        values.append(float(before))
+        labels.append(f"n={size} {plan} optimized")
+        values.append(float(after))
+    header = (
+        "Figure 1 — measured work, original vs optimized plans "
+        "(width-weighted tuples)"
+    )
+    return header + "\n" + bar_chart(labels, values)
+
+
+def figure_search_effort(result: ExperimentResult) -> str:
+    """Figure 2: related pairs examined before a counterexample was
+    found (rows of E-ABLATION-SEARCH: query, size, mode, trials, pairs)."""
+    labels = []
+    values = []
+    for query, size, _mode, _trials, pairs in result.rows:
+        labels.append(f"{query} |D|={size}")
+        values.append(float(pairs))
+    header = (
+        "Figure 2 — pairs examined until a counterexample was found, "
+        "by domain size"
+    )
+    return header + "\n" + bar_chart(labels, values)

@@ -1,0 +1,148 @@
+"""Experiment E-ORDER: interpreted order predicates (Section 2.5).
+
+The paper's motivating second-order constants are ``=`` and ``<``:
+``sigma_{$1>$2}`` is not C-generic for any finite C, but *is* generic
+w.r.t. mappings preserving the order predicate; and "for the special
+case of equality (or a total order), we arrive back at injective
+functional mappings" — an order-preserving mapping of a linear order
+is forced to be strictly monotone, hence injective and functional-like.
+
+Checked here:
+
+1. ``sigma_{$1>$2}`` is NOT generic w.r.t. plain injective mappings
+   (an order-scrambling bijection breaks it);
+2. it IS generic w.r.t. order-preserving mappings (strictly monotone
+   injections, constructed directly);
+3. every sampled general mapping that preserves ``<`` (functional
+   interpretation, Section 2.5) is injective and functional — the
+   "arrive back at injective functional mappings" claim;
+4. ``even`` stays non-generic even for order-preserving mappings —
+   order preservation does not rescue cardinality queries across
+   domains of different sizes... but monotone *bijections between equal
+   chains* do preserve it, which the experiment also exhibits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra.operators import even_query
+from ..algebra.query import Query
+from ..genericity.hierarchy import GenericitySpec
+from ..genericity.invariance import check_invariance
+from ..genericity.witnesses import find_counterexample
+from ..mappings.extensions import REL
+from ..mappings.families import MappingFamily, preserves_predicate
+from ..mappings.generators import random_domain, random_mapping_in_class
+from ..mappings.mapping import Mapping
+from ..types.ast import INT, Product, SetType, TypeVar
+from ..types.values import CVSet, Value
+from .report import ExperimentResult
+
+__all__ = ["order_preservation", "select_less_than", "monotone_family"]
+
+
+def select_less_than() -> Query:
+    """``sigma_{$1<$2}`` over pairs of ints — mentions ``<``."""
+    t = SetType(Product((INT, INT)))
+
+    def fn(r: Value) -> Value:
+        return CVSet(row for row in r if row[0] < row[1])
+
+    return Query(
+        name="sigma[$1<$2]", fn=fn, input_type=t, output_type=t,
+        uses_equality=True, notes="mentions the interpreted predicate <",
+    )
+
+
+def monotone_family(rng: random.Random, size: int = 4) -> MappingFamily:
+    """A strictly monotone injection between two int chains."""
+    left = list(range(size))
+    targets = sorted(rng.sample(range(100, 100 + 3 * size), size))
+    mapping = Mapping(
+        set(zip(left, targets)), INT, INT,
+        source_domain=left, target_domain=targets,
+    )
+    return MappingFamily({"int": mapping})
+
+
+def order_preservation(seed: int = 0, trials: int = 200) -> ExperimentResult:
+    """Run the four order-preservation checks."""
+    rng = random.Random(seed)
+    result = ExperimentResult(
+        "E-ORDER",
+        "Section 2.5: order predicates and monotone mappings",
+        "sigma_{$1<$2} is generic exactly for order-preserving mappings; "
+        "mappings preserving < collapse to injective functional ones",
+        ("check", "outcome", "expected"),
+    )
+    query = select_less_than()
+
+    # 1. Plain injective mappings break it (order scrambling).
+    injective = GenericitySpec("injective", "injective")
+    search = find_counterexample(query, injective, REL,
+                                 trials=trials, seed=seed)
+    result.add("not generic vs plain injective", search.found, True)
+    result.require(search.found, "an order-scrambling injection must break it")
+
+    # 2. Order-preserving mappings keep it invariant.
+    violations = 0
+    checks = 0
+    from ..mappings.generators import random_relation_value
+
+    for _ in range(trials):
+        family = monotone_family(rng)
+        domain = list(family["int"].source_domain)
+        inputs = [
+            random_relation_value(rng, 2, domain, rng.randint(0, 5))
+            for _ in range(3)
+        ]
+        report = check_invariance(query, family, REL, inputs, rng=rng)
+        checks += report.pairs_checked
+        violations += 0 if report.invariant else 1
+    result.add(f"invariant under monotone mappings ({checks} pairs)",
+               violations == 0, True)
+    result.require(violations == 0)
+
+    # 3. Preserving < forces injectivity and functionality.
+    from ..types.signatures import standard_signature
+
+    sig = standard_signature()
+    lt = sig["lt"]
+    sampled = 0
+    preserving = 0
+    non_injective_preserving = 0
+    for _ in range(trials * 3):
+        left = random_domain(rng, 3, INT)
+        right = random_domain(rng, 3, INT, offset=100)
+        mapping = random_mapping_in_class(rng, "all", left, right, INT)
+        family = MappingFamily({"int": mapping})
+        sampled += 1
+        if preserves_predicate(family, lt):
+            preserving += 1
+            if not (mapping.is_functional() and mapping.is_injective()):
+                non_injective_preserving += 1
+    result.add(
+        f"<-preserving mappings that are injective functions "
+        f"({preserving}/{sampled} preserved)",
+        non_injective_preserving == 0,
+        True,
+    )
+    result.require(preserving > 0, "sampling must hit preserving mappings")
+    result.require(non_injective_preserving == 0,
+                   "a <-preserving mapping must be an injective function")
+
+    # 4. even is invariant under monotone *bijections of chains* (they
+    # preserve cardinality) — the classification is orthogonal to order.
+    even_violations = 0
+    for _ in range(40):
+        family = monotone_family(rng)
+        domain = list(family["int"].source_domain)
+        inputs = [CVSet(rng.sample(domain, rng.randint(0, len(domain))))
+                  for _ in range(3)]
+        report = check_invariance(even_query(), family, REL, inputs, rng=rng)
+        even_violations += 0 if report.invariant else 1
+    result.add("even invariant under monotone injections",
+               even_violations == 0, True)
+    result.require(even_violations == 0)
+    return result

@@ -1,0 +1,106 @@
+"""Registry of all experiments, keyed by experiment id.
+
+``run(exp_id)`` executes one experiment; ``run_all()`` the whole suite.
+The ids match the per-experiment index in DESIGN.md and the sections of
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from .extensions import (
+    bags_genericity,
+    church_lists,
+    fixpoint_genericity,
+    search_ablation,
+)
+from .inexpressibility import inexpressibility
+from .optimization import opt_4_4, opt_cost_sweep
+from .orders import order_preservation
+from .report import ExperimentResult, render
+from .static_check import static_soundness
+from .table1 import table1
+from .section2 import (
+    example_2_2,
+    example_2_6,
+    lemma_2_12,
+    prop_2_8,
+    prop_2_10,
+    prop_2_11,
+    prop_2_13,
+    queries_q3_q4,
+    query_q5,
+)
+from .section3 import (
+    prop_3_1_3_2,
+    prop_3_3,
+    prop_3_4,
+    prop_3_5,
+    prop_3_6,
+    prop_3_7_3_8,
+    thm_3_9,
+)
+from .section4 import (
+    cor_4_15,
+    example_4_14,
+    lemma_4_6,
+    prop_4_16,
+    thm_4_4,
+    thm_4_13,
+)
+
+__all__ = ["EXPERIMENTS", "run", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "E-2.2": example_2_2,
+    "E-2.6": example_2_6,
+    "E-2.8": prop_2_8,
+    "E-2.9": queries_q3_q4,
+    "E-2.10": prop_2_10,
+    "E-2.11": prop_2_11,
+    "E-2.12": lemma_2_12,
+    "E-2.13": prop_2_13,
+    "E-Q5": query_q5,
+    "E-3.1/3.2": prop_3_1_3_2,
+    "E-3.3": prop_3_3,
+    "E-3.4": prop_3_4,
+    "E-3.5": prop_3_5,
+    "E-3.6": prop_3_6,
+    "E-3.7/3.8": prop_3_7_3_8,
+    "E-3.9": thm_3_9,
+    "E-4.4": thm_4_4,
+    "E-4.16": prop_4_16,
+    "E-4.6": lemma_4_6,
+    "E-4.14": example_4_14,
+    "E-4.13": thm_4_13,
+    "E-4.15": cor_4_15,
+    "E-TABLE1": table1,
+    "E-INEXPR": inexpressibility,
+    "E-STATIC": static_soundness,
+    "E-ORDER": order_preservation,
+    "E-BAGS": bags_genericity,
+    "E-FIX": fixpoint_genericity,
+    "E-CHURCH": church_lists,
+    "E-ABLATION-SEARCH": search_ablation,
+    "E-OPT": opt_4_4,
+    "E-OPT-COST": opt_cost_sweep,
+}
+
+
+def run(exp_id: str) -> ExperimentResult:
+    """Run one experiment by id."""
+    return EXPERIMENTS[exp_id]()
+
+
+def run_all(ids: Iterable[str] | None = None, verbose: bool = False) -> list[ExperimentResult]:
+    """Run all (or the selected) experiments; optionally print reports."""
+    selected = list(ids) if ids is not None else list(EXPERIMENTS)
+    results = []
+    for exp_id in selected:
+        result = run(exp_id)
+        results.append(result)
+        if verbose:
+            print(render(result))
+            print()
+    return results

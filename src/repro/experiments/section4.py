@@ -1,0 +1,307 @@
+"""Experiments for Section 4: parametricity and the list-to-set transfer."""
+
+from __future__ import annotations
+
+import random
+
+from ..algebra.nested import nest_parity
+from ..genericity.hierarchy import GenericitySpec
+from ..genericity.witnesses import find_counterexample
+from ..lambda2.parametricity import (
+    check_parametricity,
+    default_candidates,
+    logical_relation,
+)
+from ..lambda2.prelude import build_prelude
+from ..listset.analogy import analogous, deep_toset, induced_set_function
+from ..listset.setfuncs import (
+    cardinality,
+    poly,
+    set_filter,
+    set_ins,
+    set_map_fn,
+    set_union,
+)
+from ..listset.transfer import (
+    lemma_4_6_part1,
+    lemma_4_6_part2,
+    lists_witness,
+    transfer_parametricity,
+)
+from ..listset.typeclasses import classify_type, is_ltos, to_set_type
+from ..mappings.extensions import REL, STRONG, ListRel, SetRelExt
+from ..mappings.generators import random_domain, random_mapping_in_class
+from ..mappings.mapping import Budget, Mapping
+from ..types.ast import INT, SetType, forall, func, set_of, tvar
+from ..types.parser import parse_type
+from ..types.values import CVList, CVSet, Tup, cvlist, cvset, tup
+from .report import ExperimentResult
+
+__all__ = [
+    "thm_4_4",
+    "prop_4_16",
+    "lemma_4_6",
+    "example_4_14",
+    "thm_4_13",
+    "cor_4_15",
+]
+
+
+def thm_4_4(seed: int = 0) -> ExperimentResult:
+    """The parametricity theorem over the entire prelude, plus the
+    eq-type refinement for list difference."""
+    result = ExperimentResult(
+        "E-4.4",
+        "Thm 4.4: parametricity of the System F prelude",
+        "every term expressible in the calculus satisfies T(l, l); list "
+        "difference is parametric only at forall X=",
+        ("term", "type", "parametric", "expected"),
+    )
+    prelude = build_prelude()
+    positive = (
+        "id", "append", "map", "count", "reverse", "filter", "zip",
+        "nil", "cons", "ins", "difference",
+    )
+    for name in positive:
+        report = check_parametricity(
+            prelude.value(name), prelude.type_of(name), name
+        )
+        result.add(name, str(prelude.type_of(name)), report.parametric, True)
+        result.require(report.parametric, f"{name} must be parametric")
+
+    # Negative control: difference at the unrestricted type.
+    wrong_type = parse_type("forall X. <X> * <X> -> <X>")
+    report = check_parametricity(
+        prelude.value("difference"), wrong_type, "difference@X"
+    )
+    result.add("difference@X", str(wrong_type), report.parametric, False)
+    result.require(not report.parametric,
+                   "difference must fail at the eq-free type")
+    return result
+
+
+def prop_4_16(seed: int = 0, trials: int = 150) -> ExperimentResult:
+    """Nest parity: fully generic, yet not parametric at any type
+    forall X. {^n X}^n -> bool."""
+    result = ExperimentResult(
+        "E-4.16",
+        "Prop 4.16: np is generic but not parametric",
+        "np is fully generic; np is not parametric for any type "
+        "forall X. {^n X}^n -> bool",
+        ("check", "n", "verdict", "expected"),
+    )
+    np = nest_parity()
+
+    # Full genericity: extensions preserve structure, so nesting depth —
+    # all np sees — is invariant.  Check at several nesting depths.
+    spec = GenericitySpec("all", "all")
+    for n in (1, 2):
+        in_type = set_of(INT)
+        for _ in range(n - 1):
+            in_type = set_of(in_type)
+        for mode in (REL, STRONG):
+            search = find_counterexample(
+                np, spec, mode, trials=trials, seed=seed,
+                input_type=in_type, output_type=np.output_type,
+            )
+            result.add("generic", n, not search.found, True)
+            result.require(not search.found, f"np must be generic at depth {n}")
+
+    # Non-parametricity: the quantifier ranges over mappings between
+    # types of different structure; a cross-structure candidate that
+    # relates an atom to a set flips the parity np sees.
+    cross = Mapping(
+        {(0, CVSet((0,)))},
+        INT,
+        set_of(INT),
+        source_domain=(0,),
+        target_domain=(CVSet((0,)),),
+    )
+    candidates = [(INT, set_of(INT), cross)]
+    for n in (1, 2):
+        t = tvar("X")
+        body = t
+        for _ in range(n):
+            body = SetType(body)
+        np_type = forall("X", func(body, parse_type("bool")))
+        report = check_parametricity(
+            poly(np.fn), np_type, f"np@{n}", candidates=candidates
+        )
+        result.add("parametric", n, report.parametric, False)
+        result.require(not report.parametric,
+                       f"np must fail parametricity at depth {n}")
+    return result
+
+
+def lemma_4_6(seed: int = 0, trials: int = 120) -> ExperimentResult:
+    """Both directions of Lemma 4.6 on random instances."""
+    result = ExperimentResult(
+        "E-4.6",
+        "Lemma 4.6: toset vs the rel set extension",
+        "(1) <H>-related lists have {H}^rel-related tosets; (2) "
+        "{H}^rel-related sets lift to <H>-related lists",
+        ("part", "checks", "failures"),
+    )
+    rng = random.Random(seed)
+    part1_failures = part2_failures = 0
+    part1_checks = part2_checks = 0
+    for _ in range(trials):
+        left = random_domain(rng, 3, INT)
+        right = random_domain(rng, 3, INT, offset=100)
+        h = random_mapping_in_class(rng, "all", left, right, INT)
+        list_rel = ListRel(h)
+        # Part 1: build a related list pair constructively.
+        pairs = list(h.pairs())
+        if pairs:
+            chosen = [rng.choice(pairs) for _ in range(rng.randint(0, 4))]
+            l1 = CVList(x for x, _ in chosen)
+            l2 = CVList(y for _, y in chosen)
+            part1_checks += 1
+            if not lemma_4_6_part1(h, l1, l2):
+                part1_failures += 1
+        # Part 2: build a related set pair, lift to lists.
+        from ..mappings.generators import random_value
+        from ..genericity.invariance import sample_image
+
+        s1 = random_value(rng, set_of(INT), {"int": left})
+        image = sample_image(SetRelExt(h), s1, rng)
+        if image is not None:
+            part2_checks += 1
+            if not lemma_4_6_part2(h, s1, image):
+                part2_failures += 1
+    result.add("(1) lists -> sets", part1_checks, part1_failures)
+    result.add("(2) sets -> lists", part2_checks, part2_failures)
+    result.require(part1_checks > 0 and part2_checks > 0, "coverage")
+    result.require(part1_failures == 0 and part2_failures == 0)
+    return result
+
+
+def example_4_14(seed: int = 0) -> ExperimentResult:
+    """The type classifications of Example 4.14."""
+    result = ExperimentResult(
+        "E-4.14",
+        "Example 4.14: LtoS type classification",
+        "sigma's type is LtoS; predicate-on-list is not; fold is LtoS; "
+        "ext is not",
+        ("type", "LtoS", "expected"),
+    )
+    cases = [
+        ("forall X. (X -> bool) -> <X> -> <X>", True),
+        ("forall X. (<X> -> bool) -> <X> -> <X>", False),
+        ("forall X. forall Y. (X -> Y -> Y) -> Y -> <X> -> Y", True),
+        ("forall X. forall Y. (X -> <Y>) -> <X> -> <Y>", False),
+        ("forall X. <X> * <X> -> <X>", True),
+        ("forall X. <X> -> int", True),
+    ]
+    for text, expected in cases:
+        verdict = is_ltos(parse_type(text))
+        result.add(text, verdict, expected)
+        result.require(verdict == expected, text)
+    return result
+
+
+def thm_4_13(seed: int = 0, trials: int = 40) -> ExperimentResult:
+    """Transfer of relatedness from list values to analogous set values
+    at LtoS types, on the append/union pair."""
+    result = ExperimentResult(
+        "E-4.13",
+        "Thm 4.13: list relatedness transfers to sets",
+        "T^list(l1, l2) and analogy imply T^set(s1, s2) for LtoS types",
+        ("instance family", "checks", "failures"),
+    )
+    rng = random.Random(seed)
+    prelude = build_prelude()
+    append = prelude.value("append")[INT]
+    failures = 0
+    checks = 0
+    for _ in range(trials):
+        left = random_domain(rng, 3, INT)
+        right = random_domain(rng, 3, INT, offset=100)
+        h = random_mapping_in_class(rng, "all", left, right, INT)
+        pairs = list(h.pairs())
+        if not pairs:
+            continue
+        # Related list-pair inputs for append.
+        chosen_a = [rng.choice(pairs) for _ in range(rng.randint(0, 3))]
+        chosen_b = [rng.choice(pairs) for _ in range(rng.randint(0, 3))]
+        la1 = CVList(x for x, _ in chosen_a)
+        la2 = CVList(y for _, y in chosen_a)
+        lb1 = CVList(x for x, _ in chosen_b)
+        lb2 = CVList(y for _, y in chosen_b)
+        out1 = append(Tup((la1, lb1)))
+        out2 = append(Tup((la2, lb2)))
+        # List-side relatedness (parametricity instance).
+        if not ListRel(h).holds(out1, out2):
+            failures += 1
+            checks += 1
+            continue
+        # Set side via analogy: union of the tosets.
+        s_out1 = set_union(Tup((CVSet(la1), CVSet(lb1))))
+        s_out2 = set_union(Tup((CVSet(la2), CVSet(lb2))))
+        checks += 1
+        if not SetRelExt(h).holds(s_out1, s_out2):
+            failures += 1
+    result.add("append/union over random H", checks, failures)
+    result.require(checks > 0, "coverage")
+    result.require(failures == 0)
+    return result
+
+
+def cor_4_15(seed: int = 0) -> ExperimentResult:
+    """Corollary 4.15 pipeline: set functions inherit parametricity from
+    analogous list functions of LtoS type; cardinality (no analogous
+    list function relationship) fails."""
+    result = ExperimentResult(
+        "E-4.15",
+        "Cor 4.15: set parametricity via list analogues",
+        "union from append, set-sigma from filter, set-map from map, "
+        "set-ins from ins; card is NOT analogous to count and NOT "
+        "rel-parametric",
+        ("pair", "LtoS", "analogy", "set parametric", "transferred"),
+    )
+    prelude = build_prelude()
+    list_pairs = [
+        Tup((cvlist(0, 1), cvlist(1, 2))),
+        Tup((cvlist(), cvlist(2,))),
+        Tup((cvlist(0, 0), cvlist(1,))),
+    ]
+    plain_lists = [cvlist(0, 0), cvlist(1,), cvlist(), cvlist(0, 1, 2)]
+
+    cases = [
+        ("append->union", "append", poly(set_union), list_pairs, True),
+        ("count->card", "count", poly(cardinality), plain_lists, False),
+    ]
+    for label, name, set_value, samples, expect in cases:
+        report = transfer_parametricity(
+            name, prelude.value(name), set_value, prelude.type_of(name),
+            samples,
+        )
+        result.add(label, report.ltos, report.analogy_validated,
+                   report.set_parametric, report.transferred)
+        result.require(report.transferred == expect, label)
+
+    # filter -> set_filter: higher-order; check the set side directly.
+    sigma_set_type = parse_type("forall X. (X -> bool) -> {X} -> {X}")
+    report = check_parametricity(
+        poly(lambda p: set_filter(p)), sigma_set_type, "set-sigma",
+        budget=Budget(max_list_len=2, max_set_size=2, max_pairs=200_000),
+    )
+    result.add("filter->set-sigma", True, "(by Example 4.14)",
+               report.parametric, report.parametric)
+    result.require(report.parametric, "set sigma must be parametric")
+
+    # ins -> set_ins (Section 4.3's constant-insertion discussion).
+    ins_set_type = parse_type("forall X. X -> {X} -> {X}")
+    report = check_parametricity(
+        poly(lambda c: set_ins(c)), ins_set_type, "set-ins"
+    )
+    result.add("ins->set-ins", True, "(complex value type)",
+               report.parametric, report.parametric)
+    result.require(report.parametric, "set ins must be parametric")
+
+    # card is directly non-parametric at {X} -> int.
+    card_type = parse_type("forall X. {X} -> int")
+    report = check_parametricity(poly(cardinality), card_type, "card")
+    result.add("card@{X}->int", True, "n/a", report.parametric, False)
+    result.require(not report.parametric, "card must fail rel-parametricity")
+    return result

@@ -1,0 +1,130 @@
+"""Experiment E-STATIC: the static genericity analyzer is sound.
+
+Section 5 hopes that genericity properties "can be verified or
+discovered automatically".  :mod:`repro.genericity.static_analysis`
+derives guaranteed profiles from the closure theorems; this experiment
+checks soundness against the dynamic machinery: wherever the analyzer
+promises "generic w.r.t. class C in mode m", the randomized
+counterexample search must come up empty for that (class, mode).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.query import Query
+from ..genericity.hierarchy import GenericitySpec
+from ..genericity.static_analysis import ClassBound, analyze_plan
+from ..genericity.witnesses import find_counterexample
+from ..mappings.extensions import REL, STRONG
+from ..optimizer.plan import (
+    Difference,
+    Intersect,
+    Join,
+    Plan,
+    Product as PlanProduct,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute,
+)
+from ..types.ast import Product, SetType, TypeVar
+from ..types.values import Tup, Value
+from .report import ExperimentResult
+
+__all__ = ["static_soundness", "plan_as_query"]
+
+
+def plan_as_query(plan: Plan, relations: Sequence[str], arity: int = 2) -> Query:
+    """Wrap a plan over named base relations as a typed Query.
+
+    The query input is the tuple of base relations in ``relations``
+    order; all columns range over one type variable (an abstract
+    domain), matching the genericity setting."""
+    names = tuple(relations)
+
+    def fn(v: Value) -> Value:
+        db = dict(zip(names, v if isinstance(v, Tup) else Tup((v,))))
+        return execute(plan, db).value
+
+    x = TypeVar("X")
+    rel_type = SetType(Product(tuple(x for _ in range(arity))))
+    input_type = (
+        Product(tuple(rel_type for _ in names)) if len(names) > 1 else rel_type
+    )
+    # Output arity is not statically tracked; a single-variable set of
+    # tuples covers every plan in this experiment (output columns all
+    # range over the same abstract domain).
+    out_arity = _output_arity(plan, arity)
+    output_type = SetType(Product(tuple(x for _ in range(out_arity))))
+    return Query(
+        name=f"plan[{plan}]", fn=fn, input_type=input_type,
+        output_type=output_type,
+    )
+
+
+def _output_arity(plan: Plan, base_arity: int) -> int:
+    if isinstance(plan, Scan):
+        return base_arity
+    if isinstance(plan, Project):
+        return len(plan.columns)
+    if isinstance(plan, (Union, Difference, Intersect)):
+        return _output_arity(plan.left, base_arity)
+    if isinstance(plan, PlanProduct):
+        return _output_arity(plan.left, base_arity) + _output_arity(
+            plan.right, base_arity
+        )
+    if isinstance(plan, Join):
+        return _output_arity(plan.left, base_arity) + _output_arity(
+            plan.right, base_arity
+        )
+    if isinstance(plan, Select):
+        return _output_arity(plan.child, base_arity)
+    return base_arity
+
+
+_SPECS = {
+    ClassBound.ALL: GenericitySpec("all", "all"),
+    ClassBound.INJECTIVE: GenericitySpec("injective", "injective"),
+}
+
+
+def static_soundness(seed: int = 0, trials: int = 60) -> ExperimentResult:
+    """Check every static guarantee dynamically."""
+    result = ExperimentResult(
+        "E-STATIC",
+        "Static genericity analysis is sound (Section 5 direction)",
+        "whenever the closure-theorem analysis guarantees genericity for "
+        "a (class, mode) cell, randomized search finds no violation",
+        ("plan", "static profile", "cells promised", "violations"),
+    )
+    plans = [
+        (Project((0,), Union(Scan("R"), Scan("S"))), ("R", "S")),
+        (Project((0,), Difference(Scan("R"), Scan("S"))), ("R", "S")),
+        (Union(Intersect(Scan("R"), Scan("S")), Scan("R")), ("R", "S")),
+        (PlanProduct(Project((0,), Scan("R")), Project((1,), Scan("S"))),
+         ("R", "S")),
+        (Join(((0, 0),), Scan("R"), Scan("S")), ("R", "S")),
+        (Project((0,), Join(((1, 0),), Scan("R"), Scan("S"))), ("R", "S")),
+        (Difference(Scan("R"), Intersect(Scan("S"), Scan("R"))), ("R", "S")),
+    ]
+    for plan, relations in plans:
+        profile = analyze_plan(plan)
+        query = plan_as_query(plan, relations)
+        promised = 0
+        violations = 0
+        for mode, bound in ((REL, profile.rel), (STRONG, profile.strong)):
+            if bound is ClassBound.NONE:
+                continue
+            # The guarantee covers `bound` and every smaller class; the
+            # strongest check is at `bound` itself.
+            spec = _SPECS[bound]
+            promised += 1
+            search = find_counterexample(
+                query, spec, mode, trials=trials, seed=seed
+            )
+            violations += int(search.found)
+        result.add(str(plan), str(profile), promised, violations)
+        result.require(violations == 0, f"{plan}: unsound guarantee")
+    return result

@@ -1,0 +1,187 @@
+"""The curated operation catalog with the paper's expected profiles.
+
+Section 3 classifies the relational operations by genericity in prose;
+this module writes that classification down as data — operation by
+operation, the *expected* verdict in each (mapping class, extension
+mode) cell — so experiment E-TABLE1 can check the whole table
+mechanically.  The expectations are exactly the paper's:
+
+* Cor 3.2's sublanguage (projection, cross, union, Id, empty) is fully
+  generic in both modes;
+* plain equality selection and the composition query are generic only
+  w.r.t. injective mappings in rel mode; in strong mode the composition
+  query (expressible with sigma-hat, Prop 3.6) is fully generic while
+  plain selection is not;
+* difference and intersection are strong-fully generic (Prop 3.6) but
+  rel-generic only w.r.t. injective mappings (Prop 3.4);
+* ``eq_adom`` is rel-fully generic but not strong-fully generic
+  (Prop 3.5);
+* ``even`` is generic exactly from the (total) injective class down —
+  those are the mappings that preserve cardinality (Lemma 2.12 rules
+  out everything weaker).
+
+Running the classifier over the nested operations also *derives* two
+profiles the abstract leaves to the full paper: ``powerset`` and
+``singleton`` are rel-fully generic but strong-generic only w.r.t.
+injective mappings (a non-injective mapping collapses elements, so a
+subset/singleton of the source need not be maximal w.r.t. its image),
+while ``flatten`` and ``unnest`` stay fully generic in both modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..algebra.derived_ops import antijoin, division, semijoin
+from ..algebra.nested import flatten, powerset, singleton, unnest
+from ..algebra.operators import (
+    cross_op,
+    difference_op,
+    eq_adom,
+    even_query,
+    hat_select_eq,
+    identity_query,
+    intersection_op,
+    projection,
+    select_eq,
+    self_compose,
+    self_cross,
+    union_op,
+)
+from ..algebra.query import Query
+from ..mappings.extensions import REL, STRONG, ExtensionMode
+
+__all__ = ["CatalogEntry", "PAPER_TABLE", "expected_cell"]
+
+#: Cell key: (mapping class name, extension mode) -> expected generic?
+Expectation = dict[tuple[str, ExtensionMode], bool]
+
+
+def _uniform(generic: bool) -> Expectation:
+    return {
+        (cls, mode): generic
+        for cls in ("all", "total_surjective", "functional", "injective",
+                    "bijective")
+        for mode in (REL, STRONG)
+    }
+
+
+def _fully_generic() -> Expectation:
+    return _uniform(True)
+
+
+def _injective_only() -> Expectation:
+    expectation = _uniform(False)
+    for mode in (REL, STRONG):
+        expectation[("injective", mode)] = True
+        expectation[("bijective", mode)] = True
+    return expectation
+
+
+def _strong_full_rel_injective() -> Expectation:
+    """Strong-fully generic; rel only from injective down (Props 3.4/3.6)."""
+    expectation = _injective_only()
+    for cls in ("all", "total_surjective", "functional"):
+        expectation[(cls, STRONG)] = True
+    return expectation
+
+
+def _rel_full_strong_injective() -> Expectation:
+    """Rel-fully generic; strong only from injective down (Prop 3.5)."""
+    expectation = _injective_only()
+    for cls in ("all", "total_surjective", "functional"):
+        expectation[(cls, REL)] = True
+    return expectation
+
+
+@dataclass
+class CatalogEntry:
+    """One row of the paper's (implicit) classification table."""
+
+    name: str
+    factory: Callable[[], Query]
+    expectation: Expectation
+    paper_source: str
+    notes: str = ""
+
+
+PAPER_TABLE: tuple[CatalogEntry, ...] = (
+    CatalogEntry(
+        "projection", lambda: projection((0,), 2), _fully_generic(),
+        "Prop 3.1",
+    ),
+    CatalogEntry("cross", self_cross, _fully_generic(), "Prop 3.1"),
+    CatalogEntry("union", union_op, _fully_generic(), "Prop 3.1"),
+    CatalogEntry("identity", identity_query, _fully_generic(), "Prop 3.1"),
+    CatalogEntry(
+        "binary-cross", cross_op, _fully_generic(), "Cor 3.2",
+    ),
+    CatalogEntry(
+        "sigma-eq", lambda: select_eq(0, 1, 2), _injective_only(),
+        "Sections 2.3/3.2",
+        notes="shows equality in its output: not strong-generic either",
+    ),
+    CatalogEntry(
+        "sigma-hat", lambda: hat_select_eq(0, 1, 2),
+        _strong_full_rel_injective(), "Prop 3.6",
+        notes="uses equality but eliminates it from the output",
+    ),
+    CatalogEntry(
+        "compose", self_compose, _strong_full_rel_injective(),
+        "Example 2.2 + Prop 3.6",
+        notes="= pi(sigma-hat(R x R)); Example 2.2's Q1",
+    ),
+    CatalogEntry(
+        "difference", difference_op, _strong_full_rel_injective(),
+        "Props 3.4/3.6",
+    ),
+    CatalogEntry(
+        "intersection", intersection_op, _strong_full_rel_injective(),
+        "Props 3.4/3.6",
+    ),
+    CatalogEntry(
+        "eq_adom", eq_adom, _rel_full_strong_injective(), "Prop 3.5",
+        notes="separates the rel and strong hierarchies",
+    ),
+    CatalogEntry(
+        "even", even_query, _injective_only(), "Lemma 2.12",
+        notes="cardinality query: total injective mappings preserve "
+              "cardinality, nothing larger does",
+    ),
+    CatalogEntry(
+        "semijoin", semijoin, _strong_full_rel_injective(),
+        "derived from Prop 3.6 closure",
+        notes="equality used on the join column but not shown",
+    ),
+    CatalogEntry(
+        "antijoin", antijoin, _strong_full_rel_injective(),
+        "derived from Prop 3.6 closure",
+    ),
+    CatalogEntry(
+        "division", division, _strong_full_rel_injective(),
+        "derived: pi1(R) - pi1((pi1(R) x S) - R)",
+    ),
+    # Nested operations ("in the full paper we deal also with nested
+    # relations/complex value operations", Section 3).
+    CatalogEntry(
+        "powerset", powerset, _rel_full_strong_injective(),
+        "full paper (S3), derived",
+        notes="a subset of the source need not be maximal w.r.t. its "
+              "image under a collapsing mapping",
+    ),
+    CatalogEntry("flatten", flatten, _fully_generic(), "full paper (S3), derived"),
+    CatalogEntry(
+        "singleton", singleton, _rel_full_strong_injective(),
+        "full paper (S3), derived",
+        notes="{x} is not the maximal preimage of {h(x)} when h collapses",
+    ),
+    CatalogEntry(
+        "unnest", lambda: unnest(1, 2), _fully_generic(), "full paper (S3)",
+    ),
+)
+
+
+def expected_cell(entry: CatalogEntry, cls: str, mode: ExtensionMode) -> Optional[bool]:
+    """The paper's expected verdict for one cell, or None if unstated."""
+    return entry.expectation.get((cls, mode))

@@ -1,0 +1,123 @@
+"""Genericity classification: find the tightest class for a query.
+
+"Given a query, the interesting question is not whether it is generic
+but rather what is the tightest genericity class for it" (Section 1).
+:func:`classify` sweeps a query over the standard lattice x both
+extension modes, recording for each cell either a verified
+counterexample (NOT generic there) or the number of randomized checks
+survived (empirically generic).  The result is the classification table
+— the reproduction's stand-in for the paper's Section 3 narrative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..algebra.query import Query
+from ..mappings.extensions import REL, STRONG, ExtensionMode
+from ..types.ast import INT, BaseType
+from .hierarchy import STANDARD_LATTICE, GenericitySpec
+from .invariance import instantiate_at
+from .witnesses import SearchResult, find_counterexample, verify_witness
+
+__all__ = ["Verdict", "ClassificationRow", "classify", "classification_table"]
+
+
+@dataclass
+class Verdict:
+    """Outcome for one (spec, mode) cell."""
+
+    spec: GenericitySpec
+    mode: ExtensionMode
+    generic: bool
+    pairs_checked: int
+    witness_verified: bool = False
+
+    def label(self) -> str:
+        if self.generic:
+            return f"generic ({self.pairs_checked} checks)"
+        mark = "verified" if self.witness_verified else "UNVERIFIED"
+        return f"NOT generic (witness {mark})"
+
+
+@dataclass
+class ClassificationRow:
+    """The full classification of one query."""
+
+    query_name: str
+    verdicts: list[Verdict]
+
+    def tightest(self, mode: ExtensionMode) -> Optional[GenericitySpec]:
+        """The largest mapping class the query is (empirically) generic
+        for in the given mode — its tightest genericity classification.
+
+        The lattice is ordered largest class first, so the first generic
+        cell wins."""
+        for verdict in self.verdicts:
+            if verdict.mode == mode and verdict.generic:
+                return verdict.spec
+        return None
+
+    def cell(self, spec_name: str, mode: ExtensionMode) -> Verdict:
+        for verdict in self.verdicts:
+            if verdict.spec.name == spec_name and verdict.mode == mode:
+                return verdict
+        raise KeyError((spec_name, mode))
+
+
+def classify(
+    query: Query,
+    lattice: Sequence[GenericitySpec] = STANDARD_LATTICE,
+    modes: Sequence[ExtensionMode] = (REL, STRONG),
+    base: BaseType = INT,
+    trials: int = 60,
+    seed: int = 0,
+    signature=None,
+) -> ClassificationRow:
+    """Classify ``query`` against every (spec, mode) cell of the lattice."""
+    in_type = instantiate_at(query.input_type, base)
+    out_type = instantiate_at(query.output_type, base)
+    verdicts: list[Verdict] = []
+    for spec in lattice:
+        for mode in modes:
+            result: SearchResult = find_counterexample(
+                query,
+                spec,
+                mode,
+                base=base,
+                trials=trials,
+                seed=seed,
+                signature=signature,
+                input_type=in_type,
+                output_type=out_type,
+            )
+            if result.found:
+                verified = verify_witness(
+                    query, result.witness, in_type, out_type
+                )
+                verdicts.append(
+                    Verdict(spec, mode, False, result.pairs_checked, verified)
+                )
+            else:
+                verdicts.append(
+                    Verdict(spec, mode, True, result.pairs_checked)
+                )
+    return ClassificationRow(query.name, verdicts)
+
+
+def classification_table(
+    queries: Sequence[Query],
+    lattice: Sequence[GenericitySpec] = STANDARD_LATTICE,
+    modes: Sequence[ExtensionMode] = (REL, STRONG),
+    trials: int = 40,
+    seed: int = 0,
+    signature=None,
+) -> list[ClassificationRow]:
+    """Classify a catalog of queries; the Section 3 table generator."""
+    return [
+        classify(
+            q, lattice, modes, trials=trials, seed=seed, signature=signature
+        )
+        for q in queries
+    ]

@@ -1,0 +1,160 @@
+"""Exhaustive small-domain verification — the exact tier.
+
+Randomized search gives statistical evidence; for small enough domains
+we can do better and *decide* genericity outright: enumerate every
+mapping between the domains, every input value of the instance type,
+every related partner, and check invariance on all of them.  On a 2x2
+or 3x2 domain this is a complete case analysis — a finite proof of the
+claim at that size.
+
+Used by the test suite to verify e.g. that projection is invariant
+under *all 511* mappings between {0,1,2} and {10,11,12} restricted to
+nonempty graphs, and that selection's counterexample set is exactly the
+non-injective region.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from ..algebra.query import Query
+from ..mappings.extensions import REL, STRONG, ExtensionMode, extend_family
+from ..mappings.families import MappingFamily
+from ..mappings.generators import all_mappings_between
+from ..mappings.mapping import Mapping, Rel
+from ..types.ast import (
+    BagType,
+    BaseType,
+    INT,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeError_,
+)
+from ..types.values import CVBag, CVList, CVSet, Tup, Value
+from .invariance import instantiate_at
+
+__all__ = ["ExhaustiveReport", "all_values_of", "exhaustive_check"]
+
+
+def all_values_of(
+    t: Type,
+    domains: dict[str, Sequence[Value]],
+    max_collection: int = 2,
+) -> Iterator[Value]:
+    """Enumerate every value of type ``t`` over finite base domains,
+    with collections capped at ``max_collection`` elements."""
+    if isinstance(t, BaseType):
+        if t.name == "bool" and t.name not in domains:
+            yield from (True, False)
+            return
+        carrier = domains.get(t.name)
+        if carrier is None:
+            raise TypeError_(f"no domain for base type {t.name}")
+        yield from carrier
+        return
+    if isinstance(t, Product):
+        component_values = [
+            list(all_values_of(c, domains, max_collection))
+            for c in t.components
+        ]
+        for combo in itertools.product(*component_values):
+            yield Tup(combo)
+        return
+    if isinstance(t, SetType):
+        elements = list(all_values_of(t.element, domains, max_collection))
+        for size in range(min(max_collection, len(elements)) + 1):
+            for combo in itertools.combinations(elements, size):
+                yield CVSet(combo)
+        return
+    if isinstance(t, BagType):
+        elements = list(all_values_of(t.element, domains, max_collection))
+        for size in range(max_collection + 1):
+            for combo in itertools.combinations_with_replacement(
+                elements, size
+            ):
+                yield CVBag(combo)
+        return
+    if isinstance(t, ListType):
+        elements = list(all_values_of(t.element, domains, max_collection))
+        for size in range(max_collection + 1):
+            for combo in itertools.product(elements, repeat=size):
+                yield CVList(combo)
+        return
+    raise TypeError_(f"cannot enumerate values of type {t}")
+
+
+@dataclass
+class ExhaustiveReport:
+    """Outcome of a complete case analysis at one domain size."""
+
+    query_name: str
+    mode: ExtensionMode
+    mappings_checked: int = 0
+    pairs_checked: int = 0
+    violations: list[tuple[Mapping, Value, Value]] = field(
+        default_factory=list
+    )
+
+    @property
+    def generic(self) -> bool:
+        """Exact verdict at this domain size."""
+        return not self.violations
+
+    def __repr__(self) -> str:
+        status = "generic" if self.generic else (
+            f"{len(self.violations)} violations"
+        )
+        return (
+            f"ExhaustiveReport({self.query_name}/{self.mode}: {status}, "
+            f"{self.mappings_checked} mappings, "
+            f"{self.pairs_checked} related pairs)"
+        )
+
+
+def exhaustive_check(
+    query: Query,
+    mode: ExtensionMode,
+    left_size: int = 2,
+    right_size: int = 2,
+    base: BaseType = INT,
+    max_collection: int = 2,
+    mapping_filter=None,
+    max_violations: int = 5,
+) -> ExhaustiveReport:
+    """Decide invariance of ``query`` over *every* mapping between
+    domains of the given sizes and *every* related input pair.
+
+    ``mapping_filter`` optionally restricts the mapping class (e.g.
+    ``Mapping.is_injective``).  Collect at most ``max_violations``
+    witnesses before stopping.
+    """
+    left = list(range(left_size))
+    right = list(range(10, 10 + right_size))
+    in_type = instantiate_at(query.input_type, base)
+    out_type = instantiate_at(query.output_type, base)
+
+    report = ExhaustiveReport(query.name, mode)
+    inputs = list(all_values_of(in_type, {base.name: left}, max_collection))
+    partners = list(all_values_of(in_type, {base.name: right}, max_collection))
+
+    for mapping in all_mappings_between(left, right, base):
+        if mapping_filter is not None and not mapping_filter(mapping):
+            continue
+        family = MappingFamily({base.name: mapping})
+        in_rel = family.extend(in_type, mode)
+        out_rel = family.extend(out_type, mode)
+        report.mappings_checked += 1
+        for value in inputs:
+            for partner in partners:
+                if not in_rel.holds(value, partner):
+                    continue
+                report.pairs_checked += 1
+                if not out_rel.holds(query.fn(value), query.fn(partner)):
+                    report.violations.append((mapping, value, partner))
+                    if len(report.violations) >= max_violations:
+                        return report
+    return report

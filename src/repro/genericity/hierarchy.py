@@ -1,0 +1,223 @@
+"""The hierarchy of genericity classes (Sections 2.3 - 2.5).
+
+A genericity class is determined by a *class of mappings*: all mappings,
+total+surjective, functional, injective, bijective — optionally refined
+by preservation constraints for first-order constants (regular or
+strict) and interpreted functions/predicates.  Proposition 2.10: smaller
+mapping classes induce larger classes of generic queries, so the specs
+below form a lattice ordered by mapping-class inclusion.
+
+:class:`GenericitySpec` names one node of the lattice and knows how to
+generate random member families (by construction where possible, by
+constrained rejection sampling for predicate preservation).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..mappings.families import (
+    ConstantSpec,
+    MappingFamily,
+    preserves_function,
+    preserves_predicate,
+)
+from ..mappings.generators import (
+    MAPPING_CLASSES,
+    random_domain,
+    random_mapping_in_class,
+)
+from ..mappings.mapping import Mapping
+from ..types.ast import INT, BaseType
+from ..types.signatures import Interpreted
+from ..types.values import Value
+
+__all__ = [
+    "GenericitySpec",
+    "force_preserve_constant",
+    "constrain_to_unary_predicate",
+    "STANDARD_LATTICE",
+    "spec_leq",
+]
+
+
+def force_preserve_constant(mapping: Mapping, spec: ConstantSpec) -> Mapping:
+    """Minimal surgery turning a mapping into one preserving ``spec``.
+
+    Regular preservation adds the pair ``(c, c)``; strict preservation
+    additionally removes every pair associating ``c`` with anything
+    else on either side.
+    """
+    pairs = set(mapping.pairs())
+    pairs.add((spec.value, spec.value))
+    if spec.strict:
+        pairs = {
+            (x, y)
+            for x, y in pairs
+            if (x == spec.value) == (y == spec.value)
+        }
+    return Mapping(
+        pairs,
+        mapping.source,
+        mapping.target,
+        source_domain=mapping.source_domain,
+        target_domain=mapping.target_domain,
+    )
+
+
+def constrain_to_unary_predicate(
+    mapping: Mapping, predicate: Interpreted
+) -> Mapping:
+    """Drop pairs on which a *unary* predicate disagrees.
+
+    A mapping preserves a unary predicate ``p`` (functional
+    interpretation, bool fixed to identity) iff ``p(x) = p(y)`` for all
+    related pairs — so filtering pairs is exactly the constraint.  This
+    realizes e.g. the mappings preserving ``=_7`` of Section 2.5.
+    """
+    if predicate.arity != 1:
+        raise ValueError("constructive constraint only for unary predicates")
+    pairs = {
+        (x, y) for x, y in mapping.pairs() if predicate.fn(x) == predicate.fn(y)
+    }
+    return Mapping(
+        pairs,
+        mapping.source,
+        mapping.target,
+        source_domain=mapping.source_domain,
+        target_domain=mapping.target_domain,
+    )
+
+
+@dataclass(frozen=True)
+class GenericitySpec:
+    """One node of the genericity lattice.
+
+    ``mapping_class`` is a :data:`~repro.mappings.generators.MAPPING_CLASSES`
+    name; ``constants`` and ``predicates`` refine it with preservation
+    constraints.  ``same_domain`` forces codomain = domain (mappings of a
+    base type into itself), needed e.g. for Lemma 2.12's ``even`` test.
+    """
+
+    name: str
+    mapping_class: str = "all"
+    constants: tuple[ConstantSpec, ...] = ()
+    predicates: tuple[str, ...] = ()  # names resolved via a signature
+    same_domain: bool = False
+
+    def generate_family(
+        self,
+        rng: random.Random,
+        base_types: Sequence[BaseType] = (INT,),
+        domain_size: int = 4,
+        codomain_size: Optional[int] = None,
+        signature=None,
+    ) -> MappingFamily:
+        """A random family belonging to this spec's mapping class."""
+        codomain_size = (
+            codomain_size if codomain_size is not None else domain_size
+        )
+        if self.mapping_class in ("bijective",):
+            codomain_size = domain_size
+        mappings = {}
+        for i, base in enumerate(base_types):
+            left = random_domain(rng, domain_size, base, offset=0)
+            if self.same_domain:
+                right = list(left)
+            else:
+                right = random_domain(
+                    rng, codomain_size, base, offset=100 + 100 * i
+                )
+            # Constants must live in *both* domains before the random
+            # mapping is drawn: regular preservation allows other
+            # elements to map onto the constant, which can only happen
+            # if the constant is a possible target.
+            for constant in self.constants:
+                if constant.base == base:
+                    if constant.value not in left:
+                        left = list(left) + [constant.value]
+                    if constant.value not in right:
+                        right = list(right) + [constant.value]
+            mapping = random_mapping_in_class(
+                rng, self.mapping_class, left, right, base, base
+            )
+            for constant in self.constants:
+                if constant.base == base:
+                    mapping = force_preserve_constant(mapping, constant)
+            for predicate_name in self.predicates:
+                if signature is None:
+                    raise ValueError(
+                        "predicate constraints need a signature to resolve"
+                    )
+                symbol = signature[predicate_name]
+                if symbol.arity == 1:
+                    mapping = constrain_to_unary_predicate(mapping, symbol)
+            mappings[base.name] = mapping
+        family = MappingFamily(mappings)
+        # Binary predicates go through rejection sampling at family level.
+        binary = [
+            signature[p]
+            for p in self.predicates
+            if signature is not None and signature[p].arity > 1
+        ]
+        if binary:
+            for _ in range(200):
+                if all(preserves_predicate(family, s) for s in binary):
+                    return family
+                family = GenericitySpec(
+                    self.name,
+                    self.mapping_class,
+                    self.constants,
+                    tuple(p for p in self.predicates if signature[p].arity == 1),
+                    self.same_domain,
+                ).generate_family(
+                    rng, base_types, domain_size, codomain_size, signature
+                )
+            raise RuntimeError(
+                f"could not sample a family preserving {self.predicates}"
+            )
+        return family
+
+    def __str__(self) -> str:
+        parts = [self.mapping_class]
+        for c in self.constants:
+            parts.append(("strict " if c.strict else "") + f"preserve {c.value!r}")
+        for p in self.predicates:
+            parts.append(f"preserve {p}")
+        return f"{self.name}({', '.join(parts)})"
+
+
+#: The lattice explored by the classification experiments, ordered from
+#: the largest mapping class (hence *smallest* genericity class, Prop
+#: 2.10) to the smallest.
+STANDARD_LATTICE: tuple[GenericitySpec, ...] = (
+    GenericitySpec("all", "all"),
+    GenericitySpec("total_surjective", "total_surjective"),
+    GenericitySpec("functional", "functional"),
+    GenericitySpec("injective", "injective"),
+    GenericitySpec("bijective", "bijective"),
+)
+
+#: Containment order between the standard mapping classes: maps a class
+#: name to the names of (weakly) smaller classes.
+_CONTAINS: dict[str, frozenset[str]] = {
+    "all": frozenset(MAPPING_CLASSES),
+    "total_surjective": frozenset(
+        {"total_surjective", "surjective_functional", "bijective"}
+    ),
+    "functional": frozenset(
+        {"functional", "surjective_functional", "injective", "bijective"}
+    ),
+    "surjective_functional": frozenset({"surjective_functional", "bijective"}),
+    "injective": frozenset({"injective", "bijective"}),
+    "bijective": frozenset({"bijective"}),
+}
+
+
+def spec_leq(smaller: GenericitySpec, larger: GenericitySpec) -> bool:
+    """True iff ``smaller``'s mapping class is contained in ``larger``'s
+    (ignoring preservation refinements).  By Prop 2.10, genericity w.r.t.
+    the larger class then implies genericity w.r.t. the smaller."""
+    return smaller.mapping_class in _CONTAINS[larger.mapping_class]

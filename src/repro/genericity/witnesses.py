@@ -1,0 +1,125 @@
+"""Counterexample search for negative genericity claims.
+
+Several of the paper's results are *negative*: a query is **not**
+generic w.r.t. some class (Lemma 2.12, Prop 3.4, Prop 3.5, the Q4/Q5
+examples).  Such claims are established exactly by exhibiting a witness.
+:func:`find_counterexample` searches randomized families and inputs of
+growing size; the experiments assert that the search succeeds for the
+paper's negative claims and fails (within budget) for the positive ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..algebra.query import Query
+from ..mappings.extensions import ExtensionMode, REL
+from ..mappings.families import MappingFamily
+from ..types.ast import INT, BaseType, SetType, Type
+from ..types.values import Value
+from ..mappings.generators import random_value
+from .hierarchy import GenericitySpec
+from .invariance import Witness, check_invariance, instantiate_at
+
+__all__ = ["SearchResult", "find_counterexample", "verify_witness"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a counterexample search."""
+
+    query_name: str
+    spec: GenericitySpec
+    mode: ExtensionMode
+    witness: Optional[Witness]
+    trials: int
+    pairs_checked: int
+
+    @property
+    def found(self) -> bool:
+        return self.witness is not None
+
+    def __repr__(self) -> str:
+        status = "found" if self.found else "none"
+        return (
+            f"SearchResult({self.query_name} vs {self.spec.name}/{self.mode}:"
+            f" {status} after {self.trials} trials)"
+        )
+
+
+def find_counterexample(
+    query: Query,
+    spec: GenericitySpec,
+    mode: ExtensionMode = REL,
+    base: BaseType = INT,
+    trials: int = 200,
+    inputs_per_trial: int = 4,
+    domain_size: int = 4,
+    seed: int = 0,
+    signature=None,
+    input_type: Optional[Type] = None,
+    output_type: Optional[Type] = None,
+    fixed_inputs: Optional[Sequence[Value]] = None,
+) -> SearchResult:
+    """Search for an invariance violation of ``query`` against ``spec``.
+
+    Each trial draws a fresh family from the spec's mapping class and a
+    handful of random inputs of the query's (instantiated) input type,
+    then runs :func:`~repro.genericity.invariance.check_invariance`.
+    """
+    rng = random.Random(seed)
+    in_type = input_type or instantiate_at(query.input_type, base)
+    out_type = output_type or instantiate_at(query.output_type, base)
+    pairs_checked = 0
+    for trial in range(trials):
+        family = spec.generate_family(
+            rng,
+            base_types=(base,),
+            domain_size=domain_size,
+            signature=signature,
+        )
+        domain = list(family[base.name].source_domain)
+        if fixed_inputs is not None:
+            inputs = list(fixed_inputs)
+        else:
+            inputs = [
+                random_value(rng, in_type, {base.name: domain})
+                for _ in range(inputs_per_trial)
+            ]
+        report = check_invariance(
+            query,
+            family,
+            mode,
+            inputs,
+            input_type=in_type,
+            output_type=out_type,
+            base=base,
+            rng=rng,
+        )
+        pairs_checked += report.pairs_checked
+        if report.witness is not None:
+            return SearchResult(
+                query.name, spec, mode, report.witness, trial + 1, pairs_checked
+            )
+    return SearchResult(query.name, spec, mode, None, trials, pairs_checked)
+
+
+def verify_witness(
+    query: Query,
+    witness: Witness,
+    input_type: Type,
+    output_type: Type,
+) -> bool:
+    """Independently re-validate a witness: inputs related, outputs not.
+
+    Guards the experiments against bugs in the generation path — a
+    claimed counterexample must survive a from-scratch check.
+    """
+    in_rel = witness.family.extend(input_type, witness.mode)
+    out_rel = witness.family.extend(output_type, witness.mode)
+    r1, r2 = witness.input_pair
+    if not in_rel.holds(r1, r2):
+        return False
+    return not out_rel.holds(query.fn(r1), query.fn(r2))

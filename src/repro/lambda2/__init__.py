@@ -1,0 +1,49 @@
+"""System F (2nd-order lambda calculus) with parametricity (Section 4)."""
+
+from .church import (
+    church_append,
+    church_cons,
+    church_list_type,
+    church_nil,
+    church_prelude_terms,
+    decode_list,
+    encode_list,
+)
+from .eval import EvalError, evaluate
+from .free_theorems import (
+    FreeTheorem,
+    check_functional_instance,
+    derive,
+    relational_statement,
+)
+from .normalize import NormalizationError, free_vars, normalize, substitute
+from .parser import TermParseError, parse_term
+from .pretty import pretty
+from .parametricity import (
+    Candidate,
+    ParametricityReport,
+    check_parametricity,
+    default_candidates,
+    eq_candidates,
+    logical_relation,
+)
+from .prelude import Prelude, PreludeEntry, build_prelude
+from .syntax import (
+    App,
+    Const,
+    Lam,
+    Lit,
+    MkTuple,
+    Proj,
+    TApp,
+    Term,
+    TLam,
+    Var,
+    app,
+    lam,
+    tapp,
+    tlam,
+)
+from .typecheck import Context, TypeCheckError, check_term, synthesize
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,100 @@
+"""Evaluator for the 2nd-order lambda calculus.
+
+Environment-based call-by-value evaluation.  Types are *erased* at
+runtime except that type abstraction evaluates to a
+:class:`~repro.mappings.function_maps.PolyValue` — a family of
+components indexed by types — because the parametricity relation of
+Definition 4.3 needs to instantiate both sides at *different* types.
+
+Runtime values are complex values (:mod:`repro.types.values`) plus
+Python callables for functions, matching the paper's set-theoretic
+semantic domain of Section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping as TMapping, Optional
+
+from ..mappings.function_maps import PolyValue
+from ..types.ast import Type
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, Term, TLam, Var
+from ..types.values import Tup
+
+__all__ = ["EvalError", "evaluate", "Environment"]
+
+Environment = dict
+
+
+class EvalError(Exception):
+    """Raised on runtime errors (unbound variables, bad applications)."""
+
+
+def evaluate(
+    term: Term,
+    env: Optional[TMapping[str, object]] = None,
+    constants: Optional[TMapping[str, object]] = None,
+) -> object:
+    """Evaluate ``term`` to a runtime value.
+
+    ``env`` binds value variables; ``constants`` supplies native
+    implementations for :class:`~repro.lambda2.syntax.Const` nodes
+    (the prelude passes its implementation table here).
+    """
+    env = dict(env or {})
+    constants = constants or {}
+
+    def run(node: Term, scope: dict) -> object:
+        if isinstance(node, Var):
+            if node.name not in scope:
+                raise EvalError(f"unbound variable {node.name}")
+            return scope[node.name]
+        if isinstance(node, Lit):
+            return node.value
+        if isinstance(node, Const):
+            if node.name not in constants:
+                raise EvalError(f"unknown constant {node.name}")
+            return constants[node.name]
+        if isinstance(node, Lam):
+            def closure(arg, node=node, scope=dict(scope)):
+                inner = dict(scope)
+                inner[node.var] = arg
+                return run(node.body, inner)
+
+            return closure
+        if isinstance(node, App):
+            fn = run(node.fn, scope)
+            arg = run(node.arg, scope)
+            if isinstance(fn, PolyValue):
+                raise EvalError("applying a polymorphic value to a term; "
+                                "instantiate it with a type first")
+            if not callable(fn):
+                raise EvalError(f"applying non-function {fn!r}")
+            return fn(arg)
+        if isinstance(node, TLam):
+            captured = dict(scope)
+
+            def instantiate(t: Type, node=node, captured=captured):
+                # Types are erased: the component at every type is the
+                # same underlying computation.
+                return run(node.body, dict(captured))
+
+            from ..types.ast import ForAll, TypeVar as TV
+
+            # Best-effort type for the PolyValue (the checker is the
+            # authority; this is informational).
+            return PolyValue(instantiate, ForAll(node.var, TV(node.var)))
+        if isinstance(node, TApp):
+            target = run(node.term, scope)
+            if isinstance(target, PolyValue):
+                return target[node.type_arg]
+            return target  # erased polymorphism of native constants
+        if isinstance(node, MkTuple):
+            return Tup(run(e, scope) for e in node.items)
+        if isinstance(node, Proj):
+            target = run(node.term, scope)
+            if not isinstance(target, Tup):
+                raise EvalError(f"projecting from non-tuple {target!r}")
+            return target[node.index]
+        raise EvalError(f"unknown term node: {node!r}")
+
+    return run(term, env)

@@ -1,0 +1,175 @@
+"""Free theorems: human-readable consequences of parametricity.
+
+Wadler's "Theorems for free!" [15] — cited by the paper as the source of
+its parametricity formulation — reads off a theorem about a function
+from its type alone.  This module renders that theorem as text (for
+documentation and the examples) and specializes it to the *functional*
+case: when every quantifier instance is a function ``f``, the relational
+statement becomes an equational commutation law, which is exactly how
+Section 4.4 derives its optimizer rewrites.
+
+``derive(name, type)`` produces the statement; ``check_functional_instance``
+validates the equational specialization on concrete functions/inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..types.ast import (
+    BaseType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeVar,
+    strip_foralls,
+)
+from ..types.values import CVList, CVSet, Tup, Value
+
+__all__ = ["FreeTheorem", "derive", "relational_statement", "check_functional_instance"]
+
+
+def relational_statement(t: Type, subject: str = "f") -> str:
+    """Render the relation ``T(subject, subject)`` as readable text."""
+    binders, body = strip_foralls(t)
+    lines = []
+    for name, requires_eq in binders:
+        kind = "injective mappings" if requires_eq else "mappings"
+        lines.append(f"for all {kind} {name} : a_{name} x b_{name},")
+    lines.append(_render(body, subject, subject))
+    return "\n".join(lines)
+
+
+def _render(t: Type, left: str, right: str) -> str:
+    if isinstance(t, FuncType):
+        return (
+            f"whenever inputs are related by {_rel_text(t.arg)}, "
+            f"{left} and {right} produce outputs related by "
+            f"{_rel_text(t.result)}"
+        )
+    return f"{left} and {right} are related by {_rel_text(t)}"
+
+
+def _rel_text(t: Type) -> str:
+    if isinstance(t, TypeVar):
+        return t.name
+    if isinstance(t, BaseType):
+        return f"Id_{t.name}"
+    if isinstance(t, Product):
+        return " x ".join(_rel_text(c) for c in t.components)
+    if isinstance(t, ListType):
+        return f"<{_rel_text(t.element)}>"
+    if isinstance(t, SetType):
+        return "{" + _rel_text(t.element) + "}^rel"
+    if isinstance(t, FuncType):
+        return f"({_rel_text(t.arg)} -> {_rel_text(t.result)})"
+    if isinstance(t, ForAll):
+        return f"(forall {t.var}. {_rel_text(t.body)})"
+    return str(t)
+
+
+@dataclass
+class FreeTheorem:
+    """A derived free theorem for a named polymorphic function."""
+
+    name: str
+    type: Type
+    statement: str
+    functional_law: str
+
+    def __str__(self) -> str:
+        return (
+            f"Free theorem for {self.name} : {self.type}\n"
+            f"{self.statement}\n"
+            f"Functional specialization: {self.functional_law}"
+        )
+
+
+def _functional_law(t: Type, name: str) -> str:
+    """The equational commutation law for functional quantifier
+    instances — the Section 4.4 reading."""
+    binders, body = strip_foralls(t)
+    if not binders or not isinstance(body, FuncType):
+        return f"{name} = {name} (no functional content)"
+    variables = ", ".join(b for b, _eq in binders)
+    eq_note = any(eq for _b, eq in binders)
+    lift_in = _lift_text(body.arg)
+    lift_out = _lift_text(body.result)
+    law = (
+        f"for every {'injective ' if eq_note else ''}function"
+        f"{'s' if len(binders) > 1 else ''} {variables}: "
+        f"{name}({lift_in}(x)) = {lift_out}({name}(x))"
+    )
+    return law
+
+
+def _lift_text(t: Type) -> str:
+    if isinstance(t, TypeVar):
+        return t.name
+    if isinstance(t, BaseType):
+        return "id"
+    if isinstance(t, Product):
+        return "(" + " , ".join(_lift_text(c) for c in t.components) + ")"
+    if isinstance(t, ListType):
+        return f"map_list({_lift_text(t.element)})"
+    if isinstance(t, SetType):
+        return f"map_set({_lift_text(t.element)})"
+    if isinstance(t, FuncType):
+        return f"({_lift_text(t.arg)} => {_lift_text(t.result)})"
+    return str(t)
+
+
+def derive(name: str, t: Type) -> FreeTheorem:
+    """Derive the free theorem of ``name : t``."""
+    return FreeTheorem(
+        name=name,
+        type=t,
+        statement=relational_statement(t, name),
+        functional_law=_functional_law(t, name),
+    )
+
+
+def _lift_value(t: Type, fns: dict[str, Callable[[Value], Value]], v: Value) -> Value:
+    """Apply the functional lifting of ``t`` (variables mapped through
+    ``fns``, base types through identity) to the value ``v``."""
+    if isinstance(t, TypeVar):
+        return fns[t.name](v)
+    if isinstance(t, BaseType):
+        return v
+    if isinstance(t, Product):
+        return Tup(
+            _lift_value(c, fns, item) for c, item in zip(t.components, v)
+        )
+    if isinstance(t, ListType):
+        return CVList(_lift_value(t.element, fns, item) for item in v)
+    if isinstance(t, SetType):
+        return CVSet(_lift_value(t.element, fns, item) for item in v)
+    raise TypeError(f"cannot lift through {t}")
+
+
+def check_functional_instance(
+    theorem: FreeTheorem,
+    fn: Callable[[Value], Value],
+    instance_fns: dict[str, Callable[[Value], Value]],
+    inputs: Sequence[Value],
+) -> Optional[tuple[Value, Value, Value]]:
+    """Validate the equational law on concrete inputs.
+
+    For each input ``x`` checks ``fn(lift_in(x)) == lift_out(fn(x))``;
+    returns the first failure as ``(x, lhs, rhs)`` or ``None``.
+    The function's quantifiers must have been specialized so that ``fn``
+    is a plain value-level callable.
+    """
+    _binders, body = strip_foralls(theorem.type)
+    if not isinstance(body, FuncType):
+        return None
+    for x in inputs:
+        lhs = fn(_lift_value(body.arg, instance_fns, x))
+        rhs = _lift_value(body.result, instance_fns, fn(x))
+        if lhs != rhs:
+            return (x, lhs, rhs)
+    return None

@@ -1,0 +1,194 @@
+r"""Syntactic normalization for System F terms.
+
+Capture-avoiding substitution and fuel-bounded normal-order reduction:
+beta (``(\x:T. b) a``), type-beta (``(/\X. b)[T]``) and tuple
+projection redexes.  Complements the environment evaluator — the
+evaluator produces semantic values, the normalizer produces *terms*, so
+equational reasoning (e.g. that a derived definition unfolds to the
+expected combinator) can be tested syntactically.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..types.ast import Type, substitute as type_substitute
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, Term, TLam, Var
+
+__all__ = ["free_vars", "substitute", "normalize", "NormalizationError"]
+
+
+class NormalizationError(Exception):
+    """Raised when reduction exceeds the fuel bound."""
+
+
+def free_vars(term: Term) -> frozenset[str]:
+    """Free *value* variables of a term."""
+    if isinstance(term, Var):
+        return frozenset({term.name})
+    if isinstance(term, (Lit, Const)):
+        return frozenset()
+    if isinstance(term, Lam):
+        return free_vars(term.body) - {term.var}
+    if isinstance(term, TLam):
+        return free_vars(term.body)
+    if isinstance(term, App):
+        return free_vars(term.fn) | free_vars(term.arg)
+    if isinstance(term, TApp):
+        return free_vars(term.term)
+    if isinstance(term, MkTuple):
+        out: frozenset[str] = frozenset()
+        for item in term.items:
+            out |= free_vars(item)
+        return out
+    if isinstance(term, Proj):
+        return free_vars(term.term)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _fresh(base: str, avoid: frozenset[str]) -> str:
+    if base not in avoid:
+        return base
+    for i in itertools.count(1):
+        candidate = f"{base}_{i}"
+        if candidate not in avoid:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute(term: Term, name: str, replacement: Term) -> Term:
+    """Capture-avoiding substitution ``term[replacement / name]``."""
+    if isinstance(term, Var):
+        return replacement if term.name == name else term
+    if isinstance(term, (Lit, Const)):
+        return term
+    if isinstance(term, Lam):
+        if term.var == name:
+            return term
+        incoming = free_vars(replacement)
+        var = term.var
+        body = term.body
+        if var in incoming:
+            var = _fresh(var, incoming | free_vars(body) | {name})
+            body = substitute(body, term.var, Var(var))
+        return Lam(var, term.var_type, substitute(body, name, replacement))
+    if isinstance(term, TLam):
+        return TLam(
+            term.var, substitute(term.body, name, replacement),
+            term.requires_eq,
+        )
+    if isinstance(term, App):
+        return App(
+            substitute(term.fn, name, replacement),
+            substitute(term.arg, name, replacement),
+        )
+    if isinstance(term, TApp):
+        return TApp(substitute(term.term, name, replacement), term.type_arg)
+    if isinstance(term, MkTuple):
+        return MkTuple(
+            tuple(substitute(item, name, replacement) for item in term.items)
+        )
+    if isinstance(term, Proj):
+        return Proj(substitute(term.term, name, replacement), term.index)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _substitute_type(term: Term, name: str, t: Type) -> Term:
+    """Substitute a type for a type variable throughout a term."""
+    subst = {name: t}
+    if isinstance(term, (Var, Lit, Const)):
+        return term
+    if isinstance(term, Lam):
+        return Lam(
+            term.var,
+            type_substitute(term.var_type, subst),
+            _substitute_type(term.body, name, t),
+        )
+    if isinstance(term, TLam):
+        if term.var == name:
+            return term
+        return TLam(
+            term.var, _substitute_type(term.body, name, t), term.requires_eq
+        )
+    if isinstance(term, App):
+        return App(
+            _substitute_type(term.fn, name, t),
+            _substitute_type(term.arg, name, t),
+        )
+    if isinstance(term, TApp):
+        return TApp(
+            _substitute_type(term.term, name, t),
+            type_substitute(term.type_arg, subst),
+        )
+    if isinstance(term, MkTuple):
+        return MkTuple(
+            tuple(_substitute_type(item, name, t) for item in term.items)
+        )
+    if isinstance(term, Proj):
+        return Proj(_substitute_type(term.term, name, t), term.index)
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def _step(term: Term):
+    """One normal-order reduction step, or None at normal form."""
+    if isinstance(term, App):
+        if isinstance(term.fn, Lam):
+            return substitute(term.fn.body, term.fn.var, term.arg)
+        reduced = _step(term.fn)
+        if reduced is not None:
+            return App(reduced, term.arg)
+        reduced = _step(term.arg)
+        if reduced is not None:
+            return App(term.fn, reduced)
+        return None
+    if isinstance(term, TApp):
+        if isinstance(term.term, TLam):
+            return _substitute_type(
+                term.term.body, term.term.var, term.type_arg
+            )
+        reduced = _step(term.term)
+        if reduced is not None:
+            return TApp(reduced, term.type_arg)
+        return None
+    if isinstance(term, Proj):
+        if isinstance(term.term, MkTuple):
+            if 0 <= term.index < len(term.term.items):
+                return term.term.items[term.index]
+        reduced = _step(term.term)
+        if reduced is not None:
+            return Proj(reduced, term.index)
+        return None
+    if isinstance(term, Lam):
+        reduced = _step(term.body)
+        if reduced is not None:
+            return Lam(term.var, term.var_type, reduced)
+        return None
+    if isinstance(term, TLam):
+        reduced = _step(term.body)
+        if reduced is not None:
+            return TLam(term.var, reduced, term.requires_eq)
+        return None
+    if isinstance(term, MkTuple):
+        for i, item in enumerate(term.items):
+            reduced = _step(item)
+            if reduced is not None:
+                items = list(term.items)
+                items[i] = reduced
+                return MkTuple(tuple(items))
+        return None
+    return None
+
+
+def normalize(term: Term, fuel: int = 10_000) -> Term:
+    """Reduce ``term`` to normal form (normal-order), bounded by ``fuel``.
+
+    System F is strongly normalizing, so on typeable terms this always
+    terminates; the fuel guards untypeable inputs (e.g. self-application
+    written directly in the untyped AST)."""
+    current = term
+    for _ in range(fuel):
+        reduced = _step(current)
+        if reduced is None:
+            return current
+        current = reduced
+    raise NormalizationError(f"no normal form within {fuel} steps")

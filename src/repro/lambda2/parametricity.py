@@ -1,0 +1,239 @@
+"""Parametricity: logical relations derived from types (Section 4.1).
+
+Given a (closed) type ``T``, :func:`logical_relation` builds the
+corresponding mapping ``T`` by induction on the type structure:
+
+* type variables take the mappings assigned to them (independently per
+  variable — the ``zip`` discussion);
+* base-type leaves take identity mappings (the ``count`` discussion);
+* products/lists/sets take the extension constructors of Section 2
+  (sets with the ``rel`` mode, per Section 4.2);
+* ``->`` takes :class:`~repro.mappings.function_maps.FuncRel`
+  (Definition 4.2);
+* ``forall`` takes :class:`~repro.mappings.function_maps.ForAllRel`
+  (Definition 4.3) quantifying over a supplied candidate family of
+  mappings — including mappings between types of *different structure*
+  (e.g. ``str x <int>``), which is precisely where parametricity says
+  more than genericity (Section 4.3, item 2).
+
+:func:`check_parametricity` then tests the Parametricity Theorem
+(Theorem 4.4): for a term ``l : T`` expressible in the calculus,
+``T(l, l)`` holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..mappings.extensions import ListRel, ProductRel, SetRelExt
+from ..mappings.function_maps import ForAllRel, FuncRel, PolyValue
+from ..mappings.mapping import Budget, IdentityRel, Mapping, Rel
+from ..types.ast import (
+    BOOL,
+    INT,
+    STR,
+    BagType,
+    BaseType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeError_,
+    TypeVar,
+    list_of,
+)
+from ..types.values import CVList
+
+__all__ = [
+    "Candidate",
+    "default_candidates",
+    "eq_candidates",
+    "logical_relation",
+    "check_parametricity",
+    "ParametricityReport",
+]
+
+#: A quantifier instance: (alpha, beta, H : alpha x beta).
+Candidate = tuple[Type, Type, Rel]
+
+#: Default carriers for base-type identity relations, so function
+#: relations over base types stay enumerable.
+_BASE_CARRIERS: dict[str, tuple] = {
+    "bool": (True, False),
+    "int": (0, 1, 2),
+    "str": ("a", "b"),
+}
+
+
+def default_candidates(
+    seed: int = 0,
+    include_cross_structure: bool = True,
+    injective_only: bool = False,
+) -> list[Candidate]:
+    """A standard family of quantifier instances.
+
+    Contains functional, non-functional, partial and (optionally)
+    *cross-structure* mappings — the latter relate values of different
+    shapes (``str`` to ``<int>``), exercising the paper's point that
+    parametric functions are invariant even under structure-changing
+    mappings."""
+    rng = random.Random(seed)
+    out: list[Candidate] = []
+
+    # An injective renaming int -> int (classical isomorphism seed).
+    out.append(
+        (
+            INT,
+            INT,
+            Mapping({(0, 10), (1, 11), (2, 12)}, INT, INT,
+                    source_domain=(0, 1, 2), target_domain=(10, 11, 12)),
+        )
+    )
+    # A non-injective collapse int -> str.
+    if not injective_only:
+        out.append(
+            (
+                INT,
+                STR,
+                Mapping({(0, "a"), (1, "a"), (2, "b")}, INT, STR,
+                        source_domain=(0, 1, 2), target_domain=("a", "b")),
+            )
+        )
+        # A genuinely relational (many-to-many) mapping.
+        out.append(
+            (
+                INT,
+                INT,
+                Mapping({(0, 10), (0, 11), (1, 11), (2, 12)}, INT, INT,
+                        source_domain=(0, 1, 2), target_domain=(10, 11, 12)),
+            )
+        )
+    else:
+        out.append(
+            (
+                STR,
+                STR,
+                Mapping({("a", "x"), ("b", "y")}, STR, STR,
+                        source_domain=("a", "b"), target_domain=("x", "y")),
+            )
+        )
+    # A partial mapping (not total, not surjective).
+    out.append(
+        (
+            INT,
+            INT,
+            Mapping({(0, 10)}, INT, INT,
+                    source_domain=(0, 1), target_domain=(10, 11)),
+        )
+    )
+    if include_cross_structure and not injective_only:
+        # The paper's example: H : str x <int> = {(a,<1>), (b,<7,1>)}.
+        out.append(
+            (
+                STR,
+                list_of(INT),
+                Mapping(
+                    {("a", CVList((1,))), ("b", CVList((7, 1)))},
+                    STR,
+                    list_of(INT),
+                    source_domain=("a", "b"),
+                    target_domain=(CVList((1,)), CVList((7, 1))),
+                ),
+            )
+        )
+    return out
+
+
+def eq_candidates(seed: int = 0) -> list[Candidate]:
+    """Candidates for ``forall X=`` — injective mappings only, since
+    only those preserve equality (Section 4.1, list difference)."""
+    return default_candidates(seed, include_cross_structure=False, injective_only=True)
+
+
+def logical_relation(
+    t: Type,
+    var_rels: Optional[dict[str, Rel]] = None,
+    candidates: Optional[Sequence[Candidate]] = None,
+    eq_cands: Optional[Sequence[Candidate]] = None,
+    base_carriers: Optional[dict[str, tuple]] = None,
+) -> Rel:
+    """Build the relation ``T`` corresponding to type ``t``.
+
+    ``var_rels`` assigns relations to free type variables; quantifiers
+    range over ``candidates`` (or ``eq_cands`` for eq-quantifiers)."""
+    var_rels = dict(var_rels or {})
+    candidates = list(candidates if candidates is not None else default_candidates())
+    eq_cands = list(eq_cands if eq_cands is not None else eq_candidates())
+    carriers = dict(_BASE_CARRIERS)
+    carriers.update(base_carriers or {})
+
+    def walk(node: Type, env: dict[str, Rel]) -> Rel:
+        if isinstance(node, TypeVar):
+            if node.name not in env:
+                raise TypeError_(f"free type variable {node.name} has no relation")
+            return env[node.name]
+        if isinstance(node, BaseType):
+            return IdentityRel(node, carrier=carriers.get(node.name))
+        if isinstance(node, Product):
+            return ProductRel(tuple(walk(c, env) for c in node.components))
+        if isinstance(node, ListType):
+            return ListRel(walk(node.element, env))
+        if isinstance(node, SetType):
+            return SetRelExt(walk(node.element, env))
+        if isinstance(node, BagType):
+            from ..mappings.extensions import BagRelExt
+
+            return BagRelExt(walk(node.element, env))
+        if isinstance(node, FuncType):
+            return FuncRel(walk(node.arg, env), walk(node.result, env))
+        if isinstance(node, ForAll):
+            family = eq_cands if node.requires_eq else candidates
+
+            def body_builder(h: Rel, node=node, env=env):
+                inner = dict(env)
+                inner[node.var] = h
+                return walk(node.body, inner)
+
+            return ForAllRel(node, family, body_builder)
+        raise TypeError_(f"unknown type node: {node!r}")
+
+    return walk(t, var_rels)
+
+
+@dataclass
+class ParametricityReport:
+    """Outcome of a parametricity check ``T(value, value)``."""
+
+    name: str
+    type: Type
+    parametric: bool
+    violation: Optional[tuple] = None
+
+    def __repr__(self) -> str:
+        status = "parametric" if self.parametric else "NOT parametric"
+        return f"ParametricityReport({self.name} : {self.type} -- {status})"
+
+
+def check_parametricity(
+    value: object,
+    t: Type,
+    name: str = "<term>",
+    candidates: Optional[Sequence[Candidate]] = None,
+    budget: Optional[Budget] = None,
+) -> ParametricityReport:
+    """Test Theorem 4.4 for ``value : t``: does ``T(value, value)`` hold?
+
+    ``value`` is a runtime value from the evaluator (a
+    :class:`PolyValue` for polymorphic terms).  The check is exact over
+    the candidate family and the enumeration budget."""
+    rel = logical_relation(t, candidates=candidates)
+    budget = budget or Budget(max_list_len=2, max_set_size=2, max_pairs=50_000)
+    if isinstance(rel, (ForAllRel, FuncRel)):
+        violation = rel.witness_violation(value, value, budget)
+        return ParametricityReport(name, t, violation is None, violation)
+    ok = rel.holds(value, value)
+    return ParametricityReport(name, t, ok)

@@ -1,0 +1,272 @@
+r"""A concrete syntax for System F terms.
+
+Grammar (``\`` is lambda, ``/\`` is type abstraction)::
+
+    term  ::= '\' IDENT ':' btype '.' term
+            | '/\' IDENT ['='] '.' term
+            | app
+    app   ::= atom (atom | '[' type ']')*          left-assoc
+    atom  ::= IDENT                                variable or constant
+            | INT | 'true' | 'false'               literals
+            | '(' term (',' term)* ')'             grouping / tuples
+            | atom '#' INT                         projection (0-based)
+    btype ::= '(' type ')'                         parenthesized, or
+            | type-without-top-level-dot           simple types
+
+Binder types containing ``forall`` (whose syntax uses ``.``) must be
+parenthesized: ``\l:(forall R. (X -> R -> R) -> R -> R). ...``.
+
+Identifiers are resolved as bound variables first, then as prelude
+constants.  Examples::
+
+    parse_term(r"/\X. \x:X. x")
+    parse_term(r"/\X. \p:<X> * <X>. foldr[X][<X>] cons[X] (p#1) (p#0)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from ..types.ast import Type
+from ..types.parser import parse_type
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, Term, TLam, Var
+from ..types.ast import BOOL, INT
+
+__all__ = ["parse_term", "TermParseError"]
+
+
+class TermParseError(Exception):
+    """Raised on malformed term text."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<TLAM>/\\)
+  | (?P<LAM>\\)
+  | (?P<TRUE>true\b)
+  | (?P<FALSE>false\b)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<NUMBER>-?\d+)
+  | (?P<LBRACK>\[)
+  | (?P<RBRACK>\])
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<COLON>:)
+  | (?P<DOT>\.)
+  | (?P<HASH>\#)
+  | (?P<EQ>=)
+  | (?P<TYPECHAR>[<>{}|*\-])
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str):
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise TermParseError(f"bad character {text[pos]!r} at {pos}")
+        if match.lastgroup != "WS":
+            yield match.lastgroup, match.group(), match.start(), match.end()
+        pos = match.end()
+    yield "EOF", "", len(text), len(text)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self):
+        return self._tokens[self._pos]
+
+    def _advance(self):
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        got, value, _s, _e = self._advance()
+        if got != kind:
+            raise TermParseError(
+                f"expected {kind}, got {got} ({value!r}) in {self._text!r}"
+            )
+        return value
+
+    # -- type slices --------------------------------------------------
+
+    def _binder_type(self) -> Type:
+        """Parse the type between ':' and the binder's '.'.
+
+        Tokens are consumed up to the first '.' at bracket depth zero;
+        a ``forall`` inside the type must therefore be parenthesized so
+        its own '.' sits at positive depth.
+        """
+        _kind, _value, start, _end = self._peek()
+        type_start = start
+        depth = 0
+        while True:
+            token_kind, _v, token_start, _token_end = self._peek()
+            if token_kind in ("LPAREN", "LBRACK"):
+                depth += 1
+            elif token_kind in ("RPAREN", "RBRACK"):
+                depth -= 1
+            elif token_kind == "DOT" and depth == 0:
+                text = self._text[type_start:token_start]
+                if not text.strip():
+                    raise TermParseError("empty binder type")
+                return parse_type(text)
+            elif token_kind == "EOF":
+                raise TermParseError("binder type missing terminating '.'")
+            self._advance()
+
+    def _bracket_type(self) -> Type:
+        """Parse the type inside ``[...]`` of a type application."""
+        self._expect("LBRACK")
+        depth = 0
+        type_start = self._tokens[self._pos][2]
+        while True:
+            token_kind, _v, token_start, _token_end = self._advance()
+            if token_kind == "LBRACK":
+                depth += 1
+            elif token_kind == "RBRACK":
+                if depth == 0:
+                    return parse_type(self._text[type_start:token_start])
+                depth -= 1
+            elif token_kind == "EOF":
+                raise TermParseError("unterminated type application")
+
+    # -- terms --------------------------------------------------------
+
+    def parse(self) -> Term:
+        term = self._term()
+        self._expect("EOF")
+        return term
+
+    def _term(self) -> Term:
+        kind, _value, _s, _e = self._peek()
+        if kind == "LAM":
+            self._advance()
+            var = self._expect("IDENT")
+            self._expect("COLON")
+            var_type = self._binder_type()
+            self._expect("DOT")
+            return Lam(var, var_type, self._term())
+        if kind == "TLAM":
+            self._advance()
+            var = self._expect("IDENT")
+            requires_eq = False
+            if self._peek()[0] == "EQ":
+                self._advance()
+                requires_eq = True
+            self._expect("DOT")
+            return TLam(var, self._term(), requires_eq)
+        return self._app()
+
+    def _app(self) -> Term:
+        term = self._atom()
+        while True:
+            kind = self._peek()[0]
+            if kind in ("IDENT", "NUMBER", "TRUE", "FALSE", "LPAREN",
+                        "LAM", "TLAM"):
+                term = App(term, self._atom())
+            else:
+                return term
+
+    def _atom(self) -> Term:
+        kind, value, _s, _e = self._advance()
+        if kind == "IDENT":
+            return self._postfix(Var(value))
+        if kind == "NUMBER":
+            return self._postfix(Lit(int(value), INT))
+        if kind == "TRUE":
+            return self._postfix(Lit(True, BOOL))
+        if kind == "FALSE":
+            return self._postfix(Lit(False, BOOL))
+        if kind == "LPAREN":
+            if self._peek()[0] in ("LAM", "TLAM"):
+                term = self._term()
+            else:
+                term = self._app_or_term()
+            items = [term]
+            while self._peek()[0] == "COMMA":
+                self._advance()
+                items.append(self._app_or_term())
+            self._expect("RPAREN")
+            if len(items) == 1:
+                return self._postfix(items[0])
+            return self._postfix(MkTuple(tuple(items)))
+        raise TermParseError(f"unexpected token {value!r} in {self._text!r}")
+
+    def _app_or_term(self) -> Term:
+        if self._peek()[0] in ("LAM", "TLAM"):
+            return self._term()
+        return self._app()
+
+    def _postfix(self, term: Term) -> Term:
+        # Type application and projection bind tighter than application:
+        # ``f nil[X]`` reads as ``f (nil[X])``.
+        while True:
+            kind = self._peek()[0]
+            if kind == "HASH":
+                self._advance()
+                index = int(self._expect("NUMBER"))
+                term = Proj(term, index)
+            elif kind == "LBRACK":
+                term = TApp(term, self._bracket_type())
+            else:
+                return term
+
+
+def _resolve_constants(term: Term, bound: frozenset[str], constants) -> Term:
+    """Turn free variables naming prelude constants into Const nodes."""
+    if isinstance(term, Var):
+        if term.name not in bound and term.name in constants:
+            return Const(term.name)
+        return term
+    if isinstance(term, Lam):
+        return Lam(
+            term.var,
+            term.var_type,
+            _resolve_constants(term.body, bound | {term.var}, constants),
+        )
+    if isinstance(term, TLam):
+        return TLam(
+            term.var,
+            _resolve_constants(term.body, bound, constants),
+            term.requires_eq,
+        )
+    if isinstance(term, App):
+        return App(
+            _resolve_constants(term.fn, bound, constants),
+            _resolve_constants(term.arg, bound, constants),
+        )
+    if isinstance(term, TApp):
+        return TApp(
+            _resolve_constants(term.term, bound, constants), term.type_arg
+        )
+    if isinstance(term, MkTuple):
+        return MkTuple(
+            tuple(_resolve_constants(t, bound, constants) for t in term.items)
+        )
+    if isinstance(term, Proj):
+        return Proj(_resolve_constants(term.term, bound, constants), term.index)
+    return term
+
+
+def parse_term(text: str, constants=None) -> Term:
+    """Parse a System F term.
+
+    ``constants`` is an iterable of names (typically
+    ``prelude.entries``) resolved to :class:`Const` nodes when they
+    occur free; everything else stays a :class:`Var`.
+    """
+    term = _Parser(text).parse()
+    if constants is not None:
+        term = _resolve_constants(term, frozenset(), set(constants))
+    return term

@@ -1,0 +1,310 @@
+"""The polymorphic prelude: the paper's Section 4 example functions.
+
+Lists are definable in the pure 2nd-order lambda calculus via the
+Boehm-Berarducci encoding; as is standard, we make the encoding's
+constructors and eliminator *primitive* (``nil``, ``cons``, ``foldr``)
+together with ``if``, the integer primitives ``0``/``succ`` used by
+``count``, and equality at eq-types for list difference.  Everything
+else — identity, append (the paper's ``#``), map, count, reverse,
+filter (the list ``sigma``) — is *derived inside the calculus* and
+type-checked against its declared polymorphic type.
+
+``zip``, ``head`` and ``list_difference`` are native (zip and head are
+lambda-definable but only with clumsy encodings; difference genuinely
+needs equality, which is the paper's point about ``forall X=``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..types.ast import BOOL, INT, Type
+from ..types.parser import parse_type
+from ..types.values import CVList, Tup, Value
+from .eval import evaluate
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, Term, TLam, Var, app, lam, tapp, tlam
+from .typecheck import Context, check_term
+from ..types.ast import FuncType, ListType, Product, TypeVar
+
+__all__ = ["PreludeEntry", "Prelude", "build_prelude"]
+
+_X = TypeVar("X")
+_Y = TypeVar("Y")
+_XEQ = TypeVar("X", requires_eq=True)
+
+
+@dataclass
+class PreludeEntry:
+    """One prelude definition: declared type, term (if derived), value."""
+
+    name: str
+    type: Type
+    value: object
+    term: Optional[Term] = None
+
+    @property
+    def native(self) -> bool:
+        return self.term is None
+
+
+class Prelude:
+    """The checked, evaluated prelude."""
+
+    def __init__(self) -> None:
+        self.entries: dict[str, PreludeEntry] = {}
+
+    def add_native(self, name: str, type_text: str, value: object) -> PreludeEntry:
+        entry = PreludeEntry(name, parse_type(type_text), value)
+        self.entries[name] = entry
+        return entry
+
+    def add_derived(self, name: str, type_text: str, term: Term) -> PreludeEntry:
+        """Type-check ``term`` against the declared type, then evaluate it."""
+        declared = parse_type(type_text)
+        check_term(term, declared, self.context())
+        value = evaluate(term, constants=self.constant_values())
+        entry = PreludeEntry(name, declared, value, term)
+        self.entries[name] = entry
+        return entry
+
+    def context(self) -> Context:
+        """Typing context exposing every entry as a constant."""
+        return Context(constants={n: e.type for n, e in self.entries.items()})
+
+    def constant_values(self) -> dict[str, object]:
+        return {n: e.value for n, e in self.entries.items()}
+
+    def __getitem__(self, name: str) -> PreludeEntry:
+        return self.entries[name]
+
+    def value(self, name: str) -> object:
+        return self.entries[name].value
+
+    def type_of(self, name: str) -> Type:
+        return self.entries[name].type
+
+    def names(self) -> list[str]:
+        return sorted(self.entries)
+
+
+def _native_foldr(f):
+    def with_zero(z):
+        def with_list(l: CVList):
+            out = z
+            for item in reversed(list(l)):
+                out = f(item)(out)
+            return out
+
+        return with_list
+
+    return with_zero
+
+
+def _native_zip(pair: Tup) -> CVList:
+    left, right = pair
+    return CVList(Tup((a, b)) for a, b in zip(left, right))
+
+
+def _native_difference(pair: Tup) -> CVList:
+    left, right = pair
+    removed = set(right)
+    return CVList(x for x in left if x not in removed)
+
+
+def build_prelude() -> Prelude:
+    """Construct and check the full prelude."""
+    p = Prelude()
+
+    # --- native core -----------------------------------------------------
+    p.add_native("nil", "forall X. <X>", CVList())
+    p.add_native("cons", "forall X. X -> <X> -> <X>",
+                 lambda x: lambda l: l.cons(x))
+    p.add_native(
+        "foldr",
+        "forall X. forall Y. (X -> Y -> Y) -> Y -> <X> -> Y",
+        _native_foldr,
+    )
+    p.add_native("if", "forall X. bool -> X -> X -> X",
+                 lambda b: lambda t: lambda e: t if b else e)
+    p.add_native("succ", "int -> int", lambda n: n + 1)
+    p.add_native("plus", "int -> int -> int", lambda m: lambda n: m + n)
+    p.add_native("eq", "forall X=. X= -> X= -> bool",
+                 lambda x: lambda y: x == y)
+    p.add_native("zip", "forall X. forall Y. <X> * <Y> -> <X * Y>", _native_zip)
+    p.add_native("head", "forall X. <X> -> X", lambda l: l[0])
+    p.add_native(
+        "difference",
+        "forall X=. <X=> * <X=> -> <X=>",
+        _native_difference,
+    )
+
+    # --- derived in the calculus ------------------------------------------
+    # I = /\X. \x:X. x
+    p.add_derived("id", "forall X. X -> X", tlam("X", lam("x", _X, Var("x"))))
+
+    # append (the paper's #):
+    #   /\X. \p:<X>*<X>. foldr[X][<X>] (\h:X.\t:<X>. cons[X] h t) p.1 p.0
+    list_x = ListType(_X)
+    append_body = lam(
+        "p",
+        Product((list_x, list_x)),
+        app(
+            tapp(Const("foldr"), _X, list_x),
+            lam("h", _X, lam("t", list_x,
+                             app(tapp(Const("cons"), _X), Var("h"), Var("t")))),
+            Proj(Var("p"), 1),
+            Proj(Var("p"), 0),
+        ),
+    )
+    p.add_derived("append", "forall X. <X> * <X> -> <X>", tlam("X", append_body))
+
+    # map = /\X./\Y. \f:X->Y. \l:<X>.
+    #         foldr[X][<Y>] (\h:X.\t:<Y>. cons[Y] (f h) t) nil[Y] l
+    list_y = ListType(_Y)
+    map_body = lam(
+        "f",
+        FuncType(_X, _Y),
+        lam(
+            "l",
+            list_x,
+            app(
+                tapp(Const("foldr"), _X, list_y),
+                lam("h", _X, lam("t", list_y,
+                                 app(tapp(Const("cons"), _Y),
+                                     App(Var("f"), Var("h")), Var("t")))),
+                tapp(Const("nil"), _Y),
+                Var("l"),
+            ),
+        ),
+    )
+    p.add_derived(
+        "map", "forall X. forall Y. (X -> Y) -> <X> -> <Y>",
+        tlam("X", tlam("Y", map_body)),
+    )
+
+    # count = /\X. \l:<X>. foldr[X][int] (\h:X.\n:int. succ n) 0 l
+    count_body = lam(
+        "l",
+        list_x,
+        app(
+            tapp(Const("foldr"), _X, INT),
+            lam("h", _X, lam("n", INT, App(Const("succ"), Var("n")))),
+            Lit(0, INT),
+            Var("l"),
+        ),
+    )
+    p.add_derived("count", "forall X. <X> -> int", tlam("X", count_body))
+
+    # reverse = /\X. \l:<X>.
+    #   foldr[X][<X>] (\h:X.\t:<X>. append[X] (t, cons[X] h nil[X])) nil[X] l
+    snoc = lam(
+        "h",
+        _X,
+        lam(
+            "t",
+            list_x,
+            App(
+                tapp(Const("append"), _X),
+                MkTuple(
+                    (
+                        Var("t"),
+                        app(tapp(Const("cons"), _X), Var("h"),
+                            tapp(Const("nil"), _X)),
+                    )
+                ),
+            ),
+        ),
+    )
+    reverse_body = lam(
+        "l",
+        list_x,
+        app(tapp(Const("foldr"), _X, list_x), snoc,
+            tapp(Const("nil"), _X), Var("l")),
+    )
+    p.add_derived("reverse", "forall X. <X> -> <X>", tlam("X", reverse_body))
+
+    # filter (list sigma) = /\X. \pr:X->bool. \l:<X>.
+    #   foldr[X][<X>] (\h.\t. if[<X>] (pr h) (cons h t) t) nil[X] l
+    filter_body = lam(
+        "pr",
+        FuncType(_X, BOOL),
+        lam(
+            "l",
+            list_x,
+            app(
+                tapp(Const("foldr"), _X, list_x),
+                lam(
+                    "h",
+                    _X,
+                    lam(
+                        "t",
+                        list_x,
+                        app(
+                            tapp(Const("if"), list_x),
+                            App(Var("pr"), Var("h")),
+                            app(tapp(Const("cons"), _X), Var("h"), Var("t")),
+                            Var("t"),
+                        ),
+                    ),
+                ),
+                tapp(Const("nil"), _X),
+                Var("l"),
+            ),
+        ),
+    )
+    p.add_derived(
+        "filter", "forall X. (X -> bool) -> <X> -> <X>",
+        tlam("X", filter_body),
+    )
+
+    # ins (list version of Section 4.3's ins_c) = cons with argument order
+    # matching ins : forall X. X -> <X> -> <X>
+    p.add_derived(
+        "ins",
+        "forall X. X -> <X> -> <X>",
+        tlam(
+            "X",
+            lam("c", _X, lam("l", list_x,
+                             app(tapp(Const("cons"), _X), Var("c"), Var("l")))),
+        ),
+    )
+
+    # ext (Example 4.14's non-LtoS function; concatMap):
+    #   /\X./\Y. \f:X -> <Y>. \l:<X>.
+    #     foldr[X][<Y>] (\h:X.\t:<Y>. append[Y] (f h, t)) nil[Y] l
+    # Parametric at the list level (Thm 4.4) — but its type is NOT LtoS
+    # (<Y> occurs under the arrow of its functional argument), so the
+    # list-to-set transfer of Section 4.2 does not apply to it.
+    ext_body = lam(
+        "f",
+        FuncType(_X, list_y),
+        lam(
+            "l",
+            list_x,
+            app(
+                tapp(Const("foldr"), _X, list_y),
+                lam(
+                    "h",
+                    _X,
+                    lam(
+                        "t",
+                        list_y,
+                        App(
+                            tapp(Const("append"), _Y),
+                            MkTuple((App(Var("f"), Var("h")), Var("t"))),
+                        ),
+                    ),
+                ),
+                tapp(Const("nil"), _Y),
+                Var("l"),
+            ),
+        ),
+    )
+    p.add_derived(
+        "ext",
+        "forall X. forall Y. (X -> <Y>) -> <X> -> <Y>",
+        tlam("X", tlam("Y", ext_body)),
+    )
+
+    return p

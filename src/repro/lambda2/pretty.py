@@ -1,0 +1,67 @@
+r"""Precedence-aware pretty printer for System F terms.
+
+Produces text the parser (:mod:`repro.lambda2.parser`) accepts, so
+``parse_term(pretty(t))`` round-trips — property-tested in
+``tests/test_properties.py``.  Binder types that contain quantifiers
+are parenthesized, matching the parser's binder-type rule.
+"""
+
+from __future__ import annotations
+
+from ..types.ast import ForAll, Type, contains_constructor
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, Term, TLam, Var
+
+__all__ = ["pretty"]
+
+# Precedence levels: atoms bind tightest, applications next, binders last.
+_ATOM = 3
+_APP = 2
+_BINDER = 1
+
+
+def _binder_type_text(t: Type) -> str:
+    text = str(t)
+    if contains_constructor(t, ForAll):
+        return f"({text})"
+    return text
+
+
+def _go(term: Term, level: int) -> str:
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        return term.name
+    if isinstance(term, Lit):
+        if term.value is True:
+            return "true"
+        if term.value is False:
+            return "false"
+        return repr(term.value)
+    if isinstance(term, MkTuple):
+        return "(" + ", ".join(_go(e, _BINDER) for e in term.items) + ")"
+    if isinstance(term, Proj):
+        return f"{_go(term.term, _ATOM)}#{term.index}"
+    if isinstance(term, App):
+        text = f"{_go(term.fn, _APP)} {_go(term.arg, _ATOM)}"
+        return f"({text})" if level > _APP else text
+    if isinstance(term, TApp):
+        # Type application is postfix at atom level: a TApp of an
+        # application must parenthesize its head.
+        text = f"{_go(term.term, _ATOM)}[{term.type_arg}]"
+        return f"({text})" if level > _ATOM else text
+    if isinstance(term, Lam):
+        text = (
+            f"\\{term.var}:{_binder_type_text(term.var_type)}. "
+            f"{_go(term.body, _BINDER)}"
+        )
+        return f"({text})" if level > _BINDER else text
+    if isinstance(term, TLam):
+        eq = "=" if term.requires_eq else ""
+        text = f"/\\{term.var}{eq}. {_go(term.body, _BINDER)}"
+        return f"({text})" if level > _BINDER else text
+    raise TypeError(f"unknown term node: {term!r}")
+
+
+def pretty(term: Term) -> str:
+    """Render ``term`` in the parser's concrete syntax."""
+    return _go(term, _BINDER)

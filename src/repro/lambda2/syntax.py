@@ -1,0 +1,173 @@
+"""Term syntax of the 2nd-order lambda calculus (Section 4.1).
+
+The pure language has lambda abstraction, application, type abstraction
+(``Lambda X. e``) and type application (``e[alpha]``).  Following the
+paper we add products and lists as primitive type constructors, plus
+base-type literals and a small set of native constants (declared in
+:mod:`repro.lambda2.prelude`) for the interpreted operations examples
+like ``count`` need (``succ``) and for list primitives.
+
+Terms are immutable dataclasses; the checker lives in
+:mod:`repro.lambda2.typecheck` and the evaluator in
+:mod:`repro.lambda2.eval`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types.ast import Type
+
+__all__ = [
+    "Term",
+    "Var",
+    "Lam",
+    "App",
+    "TLam",
+    "TApp",
+    "Lit",
+    "Const",
+    "MkTuple",
+    "Proj",
+    "lam",
+    "tlam",
+    "app",
+    "tapp",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """Abstract base class for System F terms."""
+
+
+@dataclass(frozen=True)
+class Var(Term):
+    """A value variable ``x``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Lam(Term):
+    """Lambda abstraction ``\\x : T. body``."""
+
+    var: str
+    var_type: Type
+    body: Term
+
+    def __str__(self) -> str:
+        return f"(\\{self.var}:{self.var_type}. {self.body})"
+
+
+@dataclass(frozen=True)
+class App(Term):
+    """Application ``fn arg``."""
+
+    fn: Term
+    arg: Term
+
+    def __str__(self) -> str:
+        return f"({self.fn} {self.arg})"
+
+
+@dataclass(frozen=True)
+class TLam(Term):
+    """Type abstraction ``/\\X. body`` (``Lambda X. e``).
+
+    ``requires_eq`` marks quantification over eq-types (``X=``), used by
+    list difference (Section 4.1)."""
+
+    var: str
+    body: Term
+    requires_eq: bool = False
+
+    def __str__(self) -> str:
+        eq = "=" if self.requires_eq else ""
+        return f"(/\\{self.var}{eq}. {self.body})"
+
+
+@dataclass(frozen=True)
+class TApp(Term):
+    """Type application ``term[type]`` — selects the type's component."""
+
+    term: Term
+    type_arg: Type
+
+    def __str__(self) -> str:
+        return f"{self.term}[{self.type_arg}]"
+
+
+@dataclass(frozen=True)
+class Lit(Term):
+    """A base-type literal with its declared type."""
+
+    value: object
+    type: Type
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Const(Term):
+    """A named native constant; its type and implementation come from
+    the prelude environment handed to the checker/evaluator."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class MkTuple(Term):
+    """Tuple introduction ``(e1, ..., en)``."""
+
+    items: tuple[Term, ...]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(e) for e in self.items) + ")"
+
+
+@dataclass(frozen=True)
+class Proj(Term):
+    """Tuple projection ``e.i`` (0-based)."""
+
+    term: Term
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.term}.{self.index}"
+
+
+# -- fluent builders --------------------------------------------------------
+
+def lam(var: str, var_type: Type, body: Term) -> Lam:
+    """Build a lambda abstraction."""
+    return Lam(var, var_type, body)
+
+
+def tlam(var: str, body: Term, requires_eq: bool = False) -> TLam:
+    """Build a type abstraction."""
+    return TLam(var, body, requires_eq)
+
+
+def app(fn: Term, *args: Term) -> Term:
+    """Left-nested application of several arguments."""
+    out: Term = fn
+    for arg in args:
+        out = App(out, arg)
+    return out
+
+
+def tapp(term: Term, *types: Type) -> Term:
+    """Left-nested type application."""
+    out: Term = term
+    for t in types:
+        out = TApp(out, t)
+    return out

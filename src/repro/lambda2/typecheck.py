@@ -1,0 +1,139 @@
+"""Type checker for the 2nd-order lambda calculus.
+
+Standard type synthesis for System F extended with products, lists and
+native constants.  Because Python is dynamically typed, this checker is
+what makes the library's "typed genericity" real: every prelude term is
+checked against its declared polymorphic type, and parametricity
+relations are *derived from the checked types*, never from runtime
+inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping as TMapping, Optional
+
+from ..types.ast import (
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeVar,
+    alpha_equal,
+    free_type_vars,
+    substitute,
+)
+from .syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, Term, TLam, Var
+
+__all__ = ["TypeCheckError", "Context", "synthesize", "check_term"]
+
+
+class TypeCheckError(Exception):
+    """Raised when a term fails to typecheck."""
+
+
+@dataclass
+class Context:
+    """Typing context: value variables, bound type variables, constants."""
+
+    values: dict[str, Type] = field(default_factory=dict)
+    type_vars: dict[str, bool] = field(default_factory=dict)  # name -> requires_eq
+    constants: TMapping[str, Type] = field(default_factory=dict)
+
+    def bind_value(self, name: str, t: Type) -> "Context":
+        values = dict(self.values)
+        values[name] = t
+        return Context(values, dict(self.type_vars), self.constants)
+
+    def bind_type(self, name: str, requires_eq: bool) -> "Context":
+        type_vars = dict(self.type_vars)
+        type_vars[name] = requires_eq
+        return Context(dict(self.values), type_vars, self.constants)
+
+
+def _well_formed(t: Type, ctx: Context) -> None:
+    for name in free_type_vars(t):
+        if name not in ctx.type_vars:
+            raise TypeCheckError(f"unbound type variable {name} in {t}")
+
+
+def _has_equality(t: Type, ctx: Context) -> bool:
+    """Conservative eq-type check: a type admits equality iff it is
+    built from base types, eq-variables, products, sets and lists —
+    function types do not carry decidable equality."""
+    if isinstance(t, TypeVar):
+        return ctx.type_vars.get(t.name, False) or t.requires_eq
+    if isinstance(t, (FuncType, ForAll)):
+        return False
+    if isinstance(t, Product):
+        return all(_has_equality(c, ctx) for c in t.components)
+    if isinstance(t, (ListType, SetType)):
+        return _has_equality(t.element, ctx)
+    return True  # base types
+
+
+def synthesize(term: Term, ctx: Optional[Context] = None) -> Type:
+    """Synthesize the type of ``term`` in ``ctx``; raise on failure."""
+    ctx = ctx or Context()
+    if isinstance(term, Var):
+        if term.name not in ctx.values:
+            raise TypeCheckError(f"unbound variable {term.name}")
+        return ctx.values[term.name]
+    if isinstance(term, Lit):
+        return term.type
+    if isinstance(term, Const):
+        if term.name not in ctx.constants:
+            raise TypeCheckError(f"unknown constant {term.name}")
+        return ctx.constants[term.name]
+    if isinstance(term, Lam):
+        _well_formed(term.var_type, ctx)
+        body_type = synthesize(term.body, ctx.bind_value(term.var, term.var_type))
+        return FuncType(term.var_type, body_type)
+    if isinstance(term, App):
+        fn_type = synthesize(term.fn, ctx)
+        if not isinstance(fn_type, FuncType):
+            raise TypeCheckError(f"applying non-function of type {fn_type}")
+        arg_type = synthesize(term.arg, ctx)
+        if not alpha_equal(fn_type.arg, arg_type):
+            raise TypeCheckError(
+                f"argument type mismatch: expected {fn_type.arg}, got {arg_type}"
+            )
+        return fn_type.result
+    if isinstance(term, TLam):
+        body_type = synthesize(
+            term.body, ctx.bind_type(term.var, term.requires_eq)
+        )
+        return ForAll(term.var, body_type, term.requires_eq)
+    if isinstance(term, TApp):
+        target = synthesize(term.term, ctx)
+        if not isinstance(target, ForAll):
+            raise TypeCheckError(f"type-applying non-polymorphic type {target}")
+        _well_formed(term.type_arg, ctx)
+        if target.requires_eq and not _has_equality(term.type_arg, ctx):
+            raise TypeCheckError(
+                f"{term.type_arg} is not an eq-type but {target} requires one"
+            )
+        return substitute(target.body, {target.var: term.type_arg})
+    if isinstance(term, MkTuple):
+        return Product(tuple(synthesize(e, ctx) for e in term.items))
+    if isinstance(term, Proj):
+        target = synthesize(term.term, ctx)
+        if not isinstance(target, Product):
+            raise TypeCheckError(f"projecting from non-product type {target}")
+        if not (0 <= term.index < len(target.components)):
+            raise TypeCheckError(
+                f"projection index {term.index} out of range for {target}"
+            )
+        return target.components[term.index]
+    raise TypeCheckError(f"unknown term node: {term!r}")
+
+
+def check_term(term: Term, expected: Type, ctx: Optional[Context] = None) -> Type:
+    """Check ``term`` against ``expected`` (up to alpha); return the
+    synthesized type."""
+    actual = synthesize(term, ctx)
+    if not alpha_equal(actual, expected):
+        raise TypeCheckError(f"expected {expected}, synthesized {actual}")
+    return actual

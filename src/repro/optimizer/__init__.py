@@ -1,0 +1,35 @@
+"""Query optimization via genericity/parametricity (paper Section 4.4)."""
+
+from .constraints import (
+    Catalog,
+    RelationInfo,
+    base_relations,
+    check_key_on_instance,
+    projection_injective_on,
+)
+from .plan import (
+    Difference,
+    ExecutionResult,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute,
+)
+from .cost import Estimate, Stats, choose_plan, estimate
+from .parser import PlanParseError, parse_plan
+from .schema_infer import (
+    SchemaInferenceError,
+    infer_arity,
+    plan_type,
+    validate_plan,
+)
+from .rewriter import Rewriter, RewriteTrace, verify_equivalence
+from .rules import DEFAULT_RULES, RewriteRule
+
+__all__ = [name for name in dir() if not name.startswith("_")]

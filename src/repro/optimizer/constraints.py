@@ -1,0 +1,145 @@
+"""Schema constraints the rewrite rules consult.
+
+Section 4.4's key example: ``pi_1(R - S) = pi_1(R) - pi_1(S)`` is valid
+only when the first column is a key *for R union S* — i.e. the
+projection is injective on the instances involved.  The catalog records
+declared keys per relation and answers whether a projection is provably
+injective over a set of plan inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..types.values import CVSet, Tup
+from .plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+
+__all__ = ["RelationInfo", "Catalog", "base_relations", "projection_injective_on"]
+
+
+@dataclass
+class RelationInfo:
+    """Declared schema facts for one base relation."""
+
+    name: str
+    arity: int
+    #: Column-index sets each of which functionally determines the tuple.
+    keys: tuple[tuple[int, ...], ...] = ()
+    #: Keys declared to hold across a *group* of union-compatible
+    #: relations (e.g. a company-wide SSN shared by employees and
+    #: students in the paper's example).  Maps key columns to the group
+    #: label.
+    shared_keys: dict[tuple[int, ...], str] = field(default_factory=dict)
+
+
+class Catalog:
+    """A set of relation schemas plus constraint queries."""
+
+    def __init__(self, relations: Iterable[RelationInfo] = ()) -> None:
+        self.relations = {r.name: r for r in relations}
+
+    def add(self, info: RelationInfo) -> None:
+        self.relations[info.name] = info
+
+    def __getitem__(self, name: str) -> RelationInfo:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def key_for(self, name: str, columns: Sequence[int]) -> bool:
+        """Do ``columns`` contain a declared key of ``name``?"""
+        info = self.relations.get(name)
+        if info is None:
+            return False
+        column_set = set(columns)
+        return any(set(key) <= column_set for key in info.keys)
+
+    def shared_key_group(
+        self, name: str, columns: Sequence[int]
+    ) -> Optional[str]:
+        """The shared-key group label covering ``columns``, if any."""
+        info = self.relations.get(name)
+        if info is None:
+            return None
+        column_set = set(columns)
+        for key, group in info.shared_keys.items():
+            if set(key) <= column_set:
+                return group
+        return None
+
+
+def base_relations(plan: Plan) -> frozenset[str]:
+    """Names of all base relations a plan reads."""
+    if isinstance(plan, Scan):
+        return frozenset({plan.relation})
+    out: frozenset[str] = frozenset()
+    for child in plan.children():
+        out |= base_relations(child)
+    return out
+
+
+def _columns_preserved(plan: Plan, columns: Sequence[int]) -> bool:
+    """Conservative test: does ``plan`` pass base-relation columns
+    through unchanged at the given positions?  True for scans,
+    selections and unions of such."""
+    if isinstance(plan, Scan):
+        return True
+    if isinstance(plan, Select):
+        return _columns_preserved(plan.child, columns)
+    if isinstance(plan, (Union, Difference, Intersect)):
+        return _columns_preserved(plan.left, columns) and _columns_preserved(
+            plan.right, columns
+        )
+    return False
+
+
+def projection_injective_on(
+    catalog: Catalog, plans: Sequence[Plan], columns: Sequence[int]
+) -> bool:
+    """Is ``pi_columns`` provably injective across all tuples of the
+    given subplans, jointly?
+
+    Sufficient condition implemented (the paper's scenario): every
+    subplan passes columns through from base relations, each base
+    relation declares a *shared* key inside ``columns``, and all base
+    relations involved belong to the same shared-key group — so no two
+    distinct tuples anywhere in the union can agree on ``columns``.
+    """
+    groups: set[str] = set()
+    for plan in plans:
+        if not _columns_preserved(plan, columns):
+            return False
+        for name in base_relations(plan):
+            group = catalog.shared_key_group(name, columns)
+            if group is None:
+                return False
+            groups.add(group)
+    return len(groups) == 1
+
+
+def check_key_on_instance(
+    relation: CVSet, columns: Sequence[int]
+) -> bool:
+    """Runtime validation that ``columns`` are a key of an instance —
+    used by the experiments to confirm declared constraints hold on the
+    generated workloads."""
+    seen: dict[tuple, Tup] = {}
+    for t in relation:
+        key = tuple(t[i] for i in columns)
+        if key in seen and seen[key] != t:
+            return False
+        seen[key] = t
+    return True

@@ -1,0 +1,159 @@
+"""Cardinality estimation and cost-based plan choice.
+
+The rewrites of Section 4.4 are *sound* whenever their justifications
+hold, but not always *profitable* — e.g. pushing a projection below a
+highly selective difference duplicates projection work.  This module
+adds the classical optimizer counterpart: estimate costs from catalog
+statistics and keep a rewrite only when the estimate says it helps.
+The estimates use the same width-weighted work model as the executor,
+so estimated and measured costs are directly comparable (benchmarked in
+``bench_ablation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping as TMapping, Optional
+
+from .constraints import Catalog
+from .plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from .rewriter import Rewriter
+
+__all__ = ["Stats", "estimate", "Estimate", "choose_plan"]
+
+#: Default selectivity guesses (classical System R style).
+_SELECT_SELECTIVITY = 0.33
+_DIFF_SURVIVAL = 0.7
+_INTERSECT_SURVIVAL = 0.3
+
+
+@dataclass
+class Stats:
+    """Per-relation cardinality and width statistics."""
+
+    rows: dict[str, int] = field(default_factory=dict)
+    widths: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def of_database(cls, relations: TMapping[str, object]) -> "Stats":
+        """Collect exact stats from an in-memory database snapshot."""
+        rows = {}
+        widths = {}
+        for name, relation in relations.items():
+            rows[name] = len(relation)
+            widths[name] = max((len(t) for t in relation), default=1)
+        return cls(rows, widths)
+
+
+@dataclass
+class Estimate:
+    """Estimated output cardinality/width and cumulative work."""
+
+    rows: float
+    width: float
+    work: float
+
+    @property
+    def weight(self) -> float:
+        return self.rows * self.width
+
+
+def estimate(plan: Plan, stats: Stats) -> Estimate:
+    """Bottom-up cost estimation mirroring the executor's work model."""
+    if isinstance(plan, Scan):
+        rows = stats.rows.get(plan.relation, 0)
+        width = stats.widths.get(plan.relation, 1)
+        return Estimate(rows, width, 0.0)
+    if isinstance(plan, Project):
+        child = estimate(plan.child, stats)
+        return Estimate(
+            child.rows,  # conservatively: no duplicate collapse
+            len(plan.columns),
+            child.work + child.weight,
+        )
+    if isinstance(plan, Select):
+        child = estimate(plan.child, stats)
+        return Estimate(
+            child.rows * _SELECT_SELECTIVITY,
+            child.width,
+            child.work + child.weight,
+        )
+    if isinstance(plan, MapNode):
+        child = estimate(plan.child, stats)
+        return Estimate(child.rows, child.width, child.work + child.weight)
+    if isinstance(plan, Union):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        return Estimate(
+            left.rows + right.rows,
+            max(left.width, right.width),
+            left.work + right.work + left.weight + right.weight,
+        )
+    if isinstance(plan, Difference):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        return Estimate(
+            left.rows * _DIFF_SURVIVAL,
+            left.width,
+            left.work + right.work + left.weight + right.weight,
+        )
+    if isinstance(plan, Intersect):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        return Estimate(
+            min(left.rows, right.rows) * _INTERSECT_SURVIVAL,
+            left.width,
+            left.work + right.work + left.weight + right.weight,
+        )
+    if isinstance(plan, Product):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        return Estimate(
+            left.rows * right.rows,
+            left.width + right.width,
+            left.work + right.work + left.rows * right.weight + left.weight,
+        )
+    if isinstance(plan, Join):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        join_rows = (left.rows * right.rows) / max(
+            right.rows, 1
+        )  # one match per left row on a key join, heuristically
+        return Estimate(
+            join_rows,
+            left.width + right.width,
+            left.work + right.work + left.weight + right.weight + join_rows,
+        )
+    raise TypeError(f"unknown plan node: {plan!r}")
+
+
+def choose_plan(
+    plan: Plan,
+    catalog: Catalog,
+    stats: Stats,
+    rewriter: Optional[Rewriter] = None,
+) -> tuple[Plan, Estimate, Estimate]:
+    """Rewrite then keep whichever of (original, rewritten) estimates
+    cheaper.  Returns ``(chosen, original_estimate, rewritten_estimate)``.
+    """
+    rewriter = rewriter or Rewriter(catalog)
+    rewritten = rewriter.optimize(plan)
+    original_estimate = estimate(plan, stats)
+    rewritten_estimate = estimate(rewritten, stats)
+    chosen = (
+        rewritten
+        if rewritten_estimate.work <= original_estimate.work
+        else plan
+    )
+    return chosen, original_estimate, rewritten_estimate

@@ -1,0 +1,302 @@
+"""Logical query plans.
+
+A small algebraic plan IR over named relations, with an interpreter
+that *counts work* (tuples consumed per operator) so the optimization
+experiments can report measured cost reductions, not just estimates.
+
+Plans are immutable; rewrites build new trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping as TMapping, Optional, Sequence
+
+from ..types.values import CVSet, Tup, Value
+
+__all__ = [
+    "Plan",
+    "Scan",
+    "Project",
+    "Select",
+    "Union",
+    "Difference",
+    "Intersect",
+    "Product",
+    "Join",
+    "MapNode",
+    "ExecutionResult",
+    "execute",
+]
+
+
+@dataclass(frozen=True)
+class Plan:
+    """Abstract plan node."""
+
+    def children(self) -> tuple["Plan", ...]:
+        return ()
+
+    def with_children(self, children: tuple["Plan", ...]) -> "Plan":
+        if children:
+            raise ValueError(f"{type(self).__name__} takes no children")
+        return self
+
+
+@dataclass(frozen=True)
+class Scan(Plan):
+    """Read a named base relation."""
+
+    relation: str
+
+    def __str__(self) -> str:
+        return self.relation
+
+
+@dataclass(frozen=True)
+class Project(Plan):
+    """``pi_cols`` (0-based column indices), set semantics."""
+
+    columns: tuple[int, ...]
+    child: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Project":
+        (child,) = children
+        return Project(self.columns, child)
+
+    def __str__(self) -> str:
+        cols = ",".join(str(c + 1) for c in self.columns)
+        return f"pi[{cols}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Select(Plan):
+    """``sigma_p``; the predicate is named so rules can reason about it."""
+
+    predicate_name: str
+    predicate: Callable[[Tup], bool] = field(compare=False)
+    child: Plan = field(default=None)  # type: ignore[assignment]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Select":
+        (child,) = children
+        return Select(self.predicate_name, self.predicate, child)
+
+    def __str__(self) -> str:
+        return f"sigma[{self.predicate_name}]({self.child})"
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+@dataclass(frozen=True)
+class Difference(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Difference":
+        left, right = children
+        return Difference(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} - {self.right})"
+
+
+@dataclass(frozen=True)
+class Intersect(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Intersect":
+        left, right = children
+        return Intersect(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Product(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Product":
+        left, right = children
+        return Product(left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} x {self.right})"
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    """Equi-join on column index pairs ``on = ((i, j), ...)``."""
+
+    on: tuple[tuple[int, int], ...]
+    left: Plan = field(default=None)  # type: ignore[assignment]
+    right: Plan = field(default=None)  # type: ignore[assignment]
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "Join":
+        left, right = children
+        return Join(self.on, left, right)
+
+    def __str__(self) -> str:
+        return f"({self.left} |x|{list(self.on)} {self.right})"
+
+
+@dataclass(frozen=True)
+class MapNode(Plan):
+    """``map(f)`` over tuples; ``injective`` is declared metadata the
+    rules may rely on (Section 4.4's key-based pushes)."""
+
+    fn_name: str
+    fn: Callable[[Tup], Value] = field(compare=False)
+    child: Plan = field(default=None)  # type: ignore[assignment]
+    injective: bool = False
+
+    def children(self) -> tuple[Plan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: tuple[Plan, ...]) -> "MapNode":
+        (child,) = children
+        return MapNode(self.fn_name, self.fn, child, self.injective)
+
+    def __str__(self) -> str:
+        return f"map[{self.fn_name}]({self.child})"
+
+
+def _weight(relation: CVSet) -> int:
+    """Width-weighted size: total atoms consumed when reading a relation.
+
+    Using atoms rather than tuple counts makes the benefit of early
+    projection visible — narrower intermediate results are cheaper for
+    every downstream operator, which is the practical content of the
+    Section 4.4 rewrites."""
+    return sum(max(len(t), 1) for t in relation)
+
+
+@dataclass
+class ExecutionResult:
+    """A query answer plus the work (tuples consumed) per operator."""
+
+    value: CVSet
+    work: int
+    per_node: list[tuple[str, int]] = field(default_factory=list)
+
+
+def execute(plan: Plan, db: TMapping[str, CVSet]) -> ExecutionResult:
+    """Evaluate ``plan`` over ``db``, counting tuples consumed.
+
+    Work accounting: every operator pays one unit per input tuple it
+    consumes (products/joins pay per considered pair), matching the
+    usual tuple-at-a-time cost intuition.
+    """
+    log: list[tuple[str, int]] = []
+
+    def run(node: Plan) -> tuple[CVSet, int]:
+        if isinstance(node, Scan):
+            relation = db.get(node.relation, CVSet())
+            log.append((str(node), 0))
+            return relation, 0
+        if isinstance(node, Project):
+            child, cost = run(node.child)
+            work = _weight(child)
+            log.append((f"pi{node.columns}", work))
+            return (
+                CVSet(t.project(node.columns) for t in child),
+                cost + work,
+            )
+        if isinstance(node, Select):
+            child, cost = run(node.child)
+            work = _weight(child)
+            log.append((f"sigma[{node.predicate_name}]", work))
+            return CVSet(t for t in child if node.predicate(t)), cost + work
+        if isinstance(node, MapNode):
+            child, cost = run(node.child)
+            work = _weight(child)
+            log.append((f"map[{node.fn_name}]", work))
+            return CVSet(node.fn(t) for t in child), cost + work
+        if isinstance(node, Union):
+            left, lcost = run(node.left)
+            right, rcost = run(node.right)
+            work = _weight(left) + _weight(right)
+            log.append(("union", work))
+            return left.union(right), lcost + rcost + work
+        if isinstance(node, Difference):
+            left, lcost = run(node.left)
+            right, rcost = run(node.right)
+            work = _weight(left) + _weight(right)
+            log.append(("difference", work))
+            return left.difference(right), lcost + rcost + work
+        if isinstance(node, Intersect):
+            left, lcost = run(node.left)
+            right, rcost = run(node.right)
+            work = _weight(left) + _weight(right)
+            log.append(("intersect", work))
+            return left.intersection(right), lcost + rcost + work
+        if isinstance(node, Product):
+            left, lcost = run(node.left)
+            right, rcost = run(node.right)
+            work = len(left) * _weight(right) + _weight(left)
+            log.append(("product", work))
+            out = CVSet(
+                Tup(tuple(a) + tuple(b)) for a in left for b in right
+            )
+            return out, lcost + rcost + work
+        if isinstance(node, Join):
+            left, lcost = run(node.left)
+            right, rcost = run(node.right)
+            # Hash join on the first join column pair.
+            work = _weight(left) + _weight(right)
+            out = set()
+            if node.on:
+                i0, j0 = node.on[0]
+                index: dict[Value, list[Tup]] = {}
+                for b in right:
+                    index.setdefault(b[j0], []).append(b)
+                for a in left:
+                    for b in index.get(a[i0], ()):
+                        work += 1
+                        if all(a[i] == b[j] for i, j in node.on):
+                            out.add(Tup(tuple(a) + tuple(b)))
+            else:
+                work += len(left) * len(right)
+                out = {
+                    Tup(tuple(a) + tuple(b)) for a in left for b in right
+                }
+            log.append((f"join{node.on}", work))
+            return CVSet(out), lcost + rcost + work
+        raise TypeError(f"unknown plan node: {node!r}")
+
+    value, work = run(plan)
+    return ExecutionResult(value=value, work=work, per_node=log)

@@ -1,0 +1,65 @@
+"""Complex-value and 2nd-order type system (paper Sections 2 and 4).
+
+Public surface: the type AST (:mod:`repro.types.ast`), value wrappers
+(:mod:`repro.types.values`), value typing (:mod:`repro.types.typecheck`),
+a concrete type syntax (:mod:`repro.types.parser`) and signatures with
+interpreted symbols (:mod:`repro.types.signatures`).
+"""
+
+from .ast import (
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    UNIT,
+    BagType,
+    BaseType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeError_,
+    TypeVar,
+    alpha_equal,
+    associated_types,
+    bag_of,
+    constructor_depth,
+    contains_constructor,
+    forall,
+    free_type_vars,
+    func,
+    is_complex_value_type,
+    is_monomorphic,
+    list_of,
+    product,
+    set_of,
+    strip_foralls,
+    substitute,
+    subtypes,
+    tvar,
+)
+from .parser import ParseError, parse_type
+from .signatures import ABSTRACT, Interpreted, Signature, standard_signature, uninterpreted_signature
+from .typecheck import EMPTY, check_value, infer_value_type, join_types
+from .values import (
+    CVBag,
+    CVList,
+    CVSet,
+    Tup,
+    Value,
+    ValueError_,
+    atoms_of,
+    cvbag,
+    cvlist,
+    cvset,
+    is_atom,
+    is_value,
+    map_atoms,
+    tup,
+    value_depth,
+    value_size,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,180 @@
+"""A small concrete syntax for types.
+
+Grammar (right-recursive; ``->`` associates right, ``*`` binds tighter):
+
+.. code-block:: text
+
+    type     ::= 'forall' VAR ['=']'.' type
+               | arrow
+    arrow    ::= prod ('->' arrow)?
+    prod     ::= atom ('*' atom)*
+    atom     ::= '{' type '}'          set
+               | '{|' type '|}'        bag
+               | '<' type '>'          list
+               | '(' type ')'
+               | IDENT                 base type or type variable
+
+Identifiers that start with an upper-case letter are type variables
+(``X``, ``Y1``); a trailing ``=`` marks an eq-variable (``X=``).  All
+other identifiers are base types.
+
+Examples::
+
+    parse_type("forall X. {X} * {X} -> {X}")
+    parse_type("<int * str>")
+    parse_type("forall X=. <X=> * <X=> -> <X=>")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from .ast import (
+    BagType,
+    BaseType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeError_,
+    TypeVar,
+)
+
+__all__ = ["parse_type", "ParseError"]
+
+
+class ParseError(TypeError_):
+    """Raised when a type string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<FORALL>forall\b)
+  | (?P<IDENT>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<ARROW>->)
+  | (?P<LBAG>\{\|)
+  | (?P<RBAG>\|\})
+  | (?P<LBRACE>\{)
+  | (?P<RBRACE>\})
+  | (?P<LANGLE><)
+  | (?P<RANGLE>>)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<STAR>\*)
+  | (?P<DOT>\.)
+  | (?P<EQ>=)
+  | (?P<WS>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos} in {text!r}")
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            yield kind, match.group()
+        pos = match.end()
+    yield "EOF", ""
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> tuple[str, str]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple[str, str]:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str) -> str:
+        got_kind, value = self._advance()
+        if got_kind != kind:
+            raise ParseError(
+                f"expected {kind}, got {got_kind} ({value!r}) in {self._text!r}"
+            )
+        return value
+
+    def parse(self) -> Type:
+        result = self._type()
+        self._expect("EOF")
+        return result
+
+    def _type(self) -> Type:
+        kind, _ = self._peek()
+        if kind == "FORALL":
+            self._advance()
+            var = self._expect("IDENT")
+            requires_eq = False
+            if self._peek()[0] == "EQ":
+                self._advance()
+                requires_eq = True
+            self._expect("DOT")
+            return ForAll(var, self._type(), requires_eq)
+        return self._arrow()
+
+    def _arrow(self) -> Type:
+        left = self._prod()
+        if self._peek()[0] == "ARROW":
+            self._advance()
+            # The result position admits a quantifier: `a -> forall X. b`
+            # reads as `a -> (forall X. b)`.
+            return FuncType(left, self._type())
+        return left
+
+    def _prod(self) -> Type:
+        parts = [self._atom()]
+        while self._peek()[0] == "STAR":
+            self._advance()
+            parts.append(self._atom())
+        if len(parts) == 1:
+            return parts[0]
+        return Product(tuple(parts))
+
+    def _atom(self) -> Type:
+        kind, value = self._advance()
+        if kind == "LBRACE":
+            inner = self._type()
+            self._expect("RBRACE")
+            return SetType(inner)
+        if kind == "LBAG":
+            inner = self._type()
+            self._expect("RBAG")
+            return BagType(inner)
+        if kind == "LANGLE":
+            inner = self._type()
+            self._expect("RANGLE")
+            return ListType(inner)
+        if kind == "LPAREN":
+            if self._peek()[0] == "RPAREN":
+                self._advance()
+                return Product(())
+            inner = self._type()
+            self._expect("RPAREN")
+            return inner
+        if kind == "IDENT":
+            if value[0].isupper():
+                requires_eq = False
+                if self._peek()[0] == "EQ":
+                    self._advance()
+                    requires_eq = True
+                return TypeVar(value, requires_eq)
+            return BaseType(value)
+        raise ParseError(f"unexpected token {value!r} in {self._text!r}")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type from its concrete syntax."""
+    return _Parser(text).parse()

@@ -1,0 +1,135 @@
+"""Checking complex values against complex value types.
+
+``check_value(v, t)`` decides ``v : t`` for monomorphic complex value
+types (Definition 2.1).  ``infer_value_type`` computes a best-effort
+type for a value — empty collections are typed with a bottom element
+type that unifies with anything (:data:`EMPTY`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import (
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    BagType,
+    BaseType,
+    ListType,
+    Product,
+    SetType,
+    Type,
+    TypeError_,
+)
+from .values import CVBag, CVList, CVSet, Tup, Value, is_atom
+
+__all__ = ["check_value", "infer_value_type", "join_types", "EMPTY", "atom_type"]
+
+#: Bottom element type used for empty collections during inference.
+EMPTY = BaseType("_empty_")
+
+
+def atom_type(v: Value) -> BaseType:
+    """The base type of an atom (bool checked before int)."""
+    if isinstance(v, bool):
+        return BOOL
+    if isinstance(v, int):
+        return INT
+    if isinstance(v, float):
+        return FLOAT
+    if isinstance(v, str):
+        return STR
+    raise TypeError_(f"not an atom: {v!r}")
+
+
+def check_value(v: Value, t: Type, custom_domains: Optional[dict] = None) -> bool:
+    """Decide whether complex value ``v`` inhabits type ``t``.
+
+    ``custom_domains`` maps base-type names to membership predicates for
+    user-defined base types (e.g. an abstract uninterpreted domain
+    realized as tagged strings).
+    """
+    if isinstance(t, BaseType):
+        if custom_domains and t.name in custom_domains:
+            return is_atom(v) and custom_domains[t.name](v)
+        return is_atom(v) and atom_type(v) == t
+    if isinstance(t, Product):
+        return (
+            isinstance(v, Tup)
+            and len(v) == len(t.components)
+            and all(
+                check_value(item, ct, custom_domains)
+                for item, ct in zip(v, t.components)
+            )
+        )
+    if isinstance(t, SetType):
+        return isinstance(v, CVSet) and all(
+            check_value(item, t.element, custom_domains) for item in v
+        )
+    if isinstance(t, BagType):
+        return isinstance(v, CVBag) and all(
+            check_value(item, t.element, custom_domains) for item in v.support()
+        )
+    if isinstance(t, ListType):
+        return isinstance(v, CVList) and all(
+            check_value(item, t.element, custom_domains) for item in v
+        )
+    return False
+
+
+def join_types(a: Type, b: Type) -> Type:
+    """Least upper bound of two inferred types, treating EMPTY as bottom.
+
+    Raises :class:`TypeError_` when the types are incompatible.
+    """
+    if a == EMPTY:
+        return b
+    if b == EMPTY:
+        return a
+    if a == b:
+        return a
+    if isinstance(a, SetType) and isinstance(b, SetType):
+        return SetType(join_types(a.element, b.element))
+    if isinstance(a, BagType) and isinstance(b, BagType):
+        return BagType(join_types(a.element, b.element))
+    if isinstance(a, ListType) and isinstance(b, ListType):
+        return ListType(join_types(a.element, b.element))
+    if (
+        isinstance(a, Product)
+        and isinstance(b, Product)
+        and len(a.components) == len(b.components)
+    ):
+        return Product(
+            tuple(join_types(x, y) for x, y in zip(a.components, b.components))
+        )
+    raise TypeError_(f"incompatible value types: {a} vs {b}")
+
+
+def infer_value_type(v: Value) -> Type:
+    """Infer the (monomorphic) type of a complex value.
+
+    Heterogeneous collections raise :class:`TypeError_`; empty
+    collections get element type :data:`EMPTY`.
+    """
+    if is_atom(v):
+        return atom_type(v)
+    if isinstance(v, Tup):
+        return Product(tuple(infer_value_type(item) for item in v))
+    if isinstance(v, CVSet):
+        element = EMPTY
+        for item in v:
+            element = join_types(element, infer_value_type(item))
+        return SetType(element)
+    if isinstance(v, CVBag):
+        element = EMPTY
+        for item in v.support():
+            element = join_types(element, infer_value_type(item))
+        return BagType(element)
+    if isinstance(v, CVList):
+        element = EMPTY
+        for item in v:
+            element = join_types(element, infer_value_type(item))
+        return ListType(element)
+    raise TypeError_(f"not a complex value: {v!r}")

@@ -1,0 +1,322 @@
+"""Typed complex values.
+
+The paper's value universe (Section 2) consists of atoms drawn from base
+domains, closed under tuple, set, bag and list construction.  We realize
+it with four immutable, hashable wrapper classes so that
+
+* sets of sets, sets of tuples of lists, etc. are all well defined;
+* products (:class:`Tup`) and lists (:class:`CVList`) are distinct types
+  even though both are sequence-like, matching Definition 2.1;
+* values can be used as dictionary keys by the mapping machinery.
+
+Atoms are plain Python ``int``/``bool``/``str``/``float`` values.
+``bool`` atoms are kept distinct from ``int`` atoms (Python's bool is an
+int subclass; we always test ``bool`` first).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+__all__ = [
+    "Atom",
+    "Value",
+    "Tup",
+    "CVSet",
+    "CVBag",
+    "CVList",
+    "tup",
+    "cvset",
+    "cvbag",
+    "cvlist",
+    "is_atom",
+    "is_value",
+    "atoms_of",
+    "value_depth",
+    "value_size",
+    "map_atoms",
+    "ValueError_",
+]
+
+Atom = int | bool | str | float
+Value = Any  # Atom | Tup | CVSet | CVBag | CVList
+
+
+class ValueError_(Exception):
+    """Raised for ill-formed complex values."""
+
+
+def is_atom(v: Value) -> bool:
+    """True if ``v`` is an atomic (base-domain) value."""
+    return isinstance(v, (bool, int, str, float))
+
+
+def is_value(v: Value) -> bool:
+    """True if ``v`` is a well-formed complex value."""
+    if is_atom(v):
+        return True
+    if isinstance(v, Tup):
+        return all(is_value(item) for item in v)
+    if isinstance(v, (CVSet, CVList)):
+        return all(is_value(item) for item in v)
+    if isinstance(v, CVBag):
+        return all(is_value(item) for item in v.support())
+    return False
+
+
+@dataclass(frozen=True)
+class Tup:
+    """An n-tuple (product value)."""
+
+    items: tuple[Value, ...]
+
+    def __init__(self, items: Iterable[Value]) -> None:
+        object.__setattr__(self, "items", tuple(items))
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, index: int) -> Value:
+        return self.items[index]
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(repr(x) for x in self.items) + ")"
+
+    def replace(self, index: int, value: Value) -> "Tup":
+        """Return a copy with component ``index`` replaced by ``value``."""
+        items = list(self.items)
+        items[index] = value
+        return Tup(items)
+
+    def project(self, indices: Iterable[int]) -> "Tup":
+        """Return the sub-tuple at ``indices`` (0-based)."""
+        return Tup(self.items[i] for i in indices)
+
+
+class CVSet:
+    """A finite set value, frozenset-backed, hashable."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Value] = ()) -> None:
+        self._items = frozenset(items)
+        self._hash = hash(("CVSet", self._items))
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, v: Value) -> bool:
+        return v in self._items
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CVSet) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return "{}"
+        return "{" + ", ".join(repr(x) for x in sorted(self._items, key=repr)) + "}"
+
+    # Set algebra — the substrate for the relational operators.
+    def union(self, other: "CVSet") -> "CVSet":
+        return CVSet(self._items | other._items)
+
+    def intersection(self, other: "CVSet") -> "CVSet":
+        return CVSet(self._items & other._items)
+
+    def difference(self, other: "CVSet") -> "CVSet":
+        return CVSet(self._items - other._items)
+
+    def issubset(self, other: "CVSet") -> bool:
+        return self._items <= other._items
+
+    def add(self, v: Value) -> "CVSet":
+        """Return a new set with ``v`` inserted."""
+        return CVSet(self._items | {v})
+
+    def frozen(self) -> frozenset:
+        return self._items
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+    __le__ = issubset
+
+
+class CVBag:
+    """A finite bag (multiset) value, hashable."""
+
+    __slots__ = ("_counts", "_hash")
+
+    def __init__(self, items: Iterable[Value] = ()) -> None:
+        counts = Counter(items)
+        self._counts = frozenset(counts.items())
+        self._hash = hash(("CVBag", self._counts))
+
+    def __iter__(self) -> Iterator[Value]:
+        for v, n in self._counts:
+            for _ in range(n):
+                yield v
+
+    def __len__(self) -> int:
+        return sum(n for _, n in self._counts)
+
+    def __contains__(self, v: Value) -> bool:
+        return self.count(v) > 0
+
+    def count(self, v: Value) -> int:
+        """Multiplicity of ``v`` in the bag."""
+        for item, n in self._counts:
+            if item == v:
+                return n
+        return 0
+
+    def support(self) -> frozenset:
+        """The set of distinct elements."""
+        return frozenset(v for v, _ in self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CVBag) and self._counts == other._counts
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        items = sorted(self, key=repr)
+        return "{|" + ", ".join(repr(x) for x in items) + "|}"
+
+    def union(self, other: "CVBag") -> "CVBag":
+        """Additive bag union."""
+        return CVBag(list(self) + list(other))
+
+
+class CVList:
+    """A finite list value, tuple-backed, hashable."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[Value] = ()) -> None:
+        self._items = tuple(items)
+        self._hash = hash(("CVList", self._items))
+
+    def __iter__(self) -> Iterator[Value]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return CVList(self._items[index])
+        return self._items[index]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CVList) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return "<" + ", ".join(repr(x) for x in self._items) + ">"
+
+    def append(self, other: "CVList") -> "CVList":
+        """List concatenation — the paper's ``#`` operation."""
+        return CVList(self._items + other._items)
+
+    def cons(self, v: Value) -> "CVList":
+        """Return a new list with ``v`` prepended."""
+        return CVList((v,) + self._items)
+
+    def items(self) -> tuple[Value, ...]:
+        return self._items
+
+
+def tup(*items: Value) -> Tup:
+    """Build a tuple value."""
+    return Tup(items)
+
+
+def cvset(*items: Value) -> CVSet:
+    """Build a set value."""
+    return CVSet(items)
+
+
+def cvbag(*items: Value) -> CVBag:
+    """Build a bag value."""
+    return CVBag(items)
+
+
+def cvlist(*items: Value) -> CVList:
+    """Build a list value."""
+    return CVList(items)
+
+
+def atoms_of(v: Value) -> frozenset:
+    """All atoms occurring anywhere inside ``v`` (the active domain seed)."""
+    if is_atom(v):
+        return frozenset({v})
+    out: set = set()
+    if isinstance(v, CVBag):
+        items: Iterable[Value] = v.support()
+    else:
+        items = v
+    for item in items:
+        out |= atoms_of(item)
+    return frozenset(out)
+
+
+def value_depth(v: Value) -> int:
+    """Maximum bulk-constructor nesting depth of ``v``.
+
+    Atoms and tuples of atoms have depth 0; ``{1}`` has depth 1;
+    ``{{1}}`` depth 2, and so on.  Used by the nest-parity query of
+    Proposition 4.16.
+    """
+    if is_atom(v):
+        return 0
+    if isinstance(v, Tup):
+        return max((value_depth(item) for item in v), default=0)
+    if isinstance(v, CVBag):
+        inner = max((value_depth(item) for item in v.support()), default=0)
+        return 1 + inner
+    inner = max((value_depth(item) for item in v), default=0)
+    return 1 + inner
+
+
+def value_size(v: Value) -> int:
+    """Total number of nodes in the value tree (atoms count 1)."""
+    if is_atom(v):
+        return 1
+    if isinstance(v, CVBag):
+        return 1 + sum(value_size(item) * v.count(item) for item in v.support())
+    return 1 + sum(value_size(item) for item in v)
+
+
+def map_atoms(v: Value, f) -> Value:
+    """Apply the atom-level function ``f`` at every leaf of ``v``.
+
+    This is the extension of a *functional* base mapping to all complex
+    values — ``map(f)`` iterated through every constructor.  For general
+    (relational) mappings use :mod:`repro.mappings.extensions`.
+    """
+    if is_atom(v):
+        return f(v)
+    if isinstance(v, Tup):
+        return Tup(map_atoms(item, f) for item in v)
+    if isinstance(v, CVSet):
+        return CVSet(map_atoms(item, f) for item in v)
+    if isinstance(v, CVBag):
+        return CVBag(map_atoms(item, f) for item in v)
+    if isinstance(v, CVList):
+        return CVList(map_atoms(item, f) for item in v)
+    raise ValueError_(f"not a complex value: {v!r}")

@@ -1,0 +1,80 @@
+"""Tests for the bag algebra."""
+
+from repro.algebra.bags import (
+    bag_map,
+    bag_min_intersection,
+    bag_monus,
+    bag_of_set,
+    bag_projection,
+    bag_select_eq,
+    bag_union,
+    duplicate_elim,
+)
+from repro.types.ast import INT
+from repro.types.values import CVBag, Tup, cvbag, cvset, tup
+
+
+class TestBagUnion:
+    def test_multiplicities_add(self):
+        out = bag_union().fn(Tup((cvbag(1, 1), cvbag(1, 2))))
+        assert out.count(1) == 3
+        assert out.count(2) == 1
+
+    def test_empty_identity(self):
+        b = cvbag(1, 2)
+        assert bag_union().fn(Tup((b, cvbag()))) == b
+
+
+class TestBagMonus:
+    def test_subtracts_with_floor(self):
+        out = bag_monus().fn(Tup((cvbag(1, 1, 2), cvbag(1, 2, 2))))
+        assert out == cvbag(1)
+
+    def test_disjoint_untouched(self):
+        assert bag_monus().fn(Tup((cvbag(1), cvbag(2)))) == cvbag(1)
+
+    def test_uses_equality(self):
+        assert bag_monus().uses_equality
+
+
+class TestBagMinIntersection:
+    def test_minimum_multiplicity(self):
+        out = bag_min_intersection().fn(
+            Tup((cvbag(1, 1, 1, 2), cvbag(1, 1, 3)))
+        )
+        assert out == cvbag(1, 1)
+
+    def test_disjoint_empty(self):
+        assert bag_min_intersection().fn(Tup((cvbag(1), cvbag(2)))) == cvbag()
+
+
+class TestDuplicateElim:
+    def test_collapses_to_support(self):
+        assert duplicate_elim().fn(cvbag(1, 1, 2)) == cvset(1, 2)
+
+    def test_empty(self):
+        assert duplicate_elim().fn(cvbag()) == cvset()
+
+
+class TestBagStructuralOps:
+    def test_projection_preserves_multiplicity(self):
+        b = cvbag(tup(1, "a"), tup(1, "b"))
+        out = bag_projection((0,), 2).fn(b)
+        assert out.count(tup(1)) == 2
+
+    def test_select_eq(self):
+        b = cvbag(tup(1, 1), tup(1, 1), tup(1, 2))
+        out = bag_select_eq(0, 1, 2).fn(b)
+        assert out.count(tup(1, 1)) == 2
+        assert tup(1, 2) not in out
+
+    def test_bag_map_merges_multiplicities(self):
+        q = bag_map(lambda x: x % 2, "mod2", INT, INT)
+        out = q.fn(cvbag(1, 3, 2))
+        assert out.count(1) == 2
+        assert out.count(0) == 1
+
+    def test_bag_of_set(self):
+        out = bag_of_set().fn(cvset(1, 2))
+        assert isinstance(out, CVBag)
+        assert out.count(1) == 1

@@ -1,0 +1,127 @@
+"""Tests for the restricted relational calculus (Prop 3.3)."""
+
+import pytest
+
+from repro.algebra.calculus import (
+    And,
+    Atom,
+    CalculusError,
+    CalculusQuery,
+    EqAtom,
+    Exists,
+    Or,
+    restricted_fragment_ok,
+)
+from repro.types.values import CVSet, Tup, cvset, tup
+
+
+DB = {
+    "R": cvset(tup(1, 2), tup(2, 3)),
+    "S": cvset(tup(2,), tup(9,)),
+}
+
+
+class TestFragmentMembership:
+    def test_plain_atom_ok(self):
+        assert restricted_fragment_ok(Atom("R", ("x", "y")))
+
+    def test_repeated_variable_atom_rejected(self):
+        assert not restricted_fragment_ok(Atom("R", ("x", "x")))
+
+    def test_eq_atom_rejected(self):
+        assert not restricted_fragment_ok(EqAtom("x", "y"))
+
+    def test_or_needs_same_free_vars(self):
+        good = Or(Atom("R", ("x", "y")), Atom("R", ("y", "x")))
+        assert restricted_fragment_ok(good)
+        bad = Or(Atom("R", ("x", "y")), Atom("S", ("x",)))
+        assert not restricted_fragment_ok(bad)
+
+    def test_and_needs_disjoint_vars(self):
+        good = And(Atom("R", ("x", "y")), Atom("S", ("z",)))
+        assert restricted_fragment_ok(good)
+        bad = And(Atom("R", ("x", "y")), Atom("S", ("x",)))
+        assert not restricted_fragment_ok(bad)
+
+    def test_exists_transparent(self):
+        assert restricted_fragment_ok(Exists("y", Atom("R", ("x", "y"))))
+
+
+class TestConstruction:
+    def test_strict_rejects_illegal(self):
+        with pytest.raises(CalculusError):
+            CalculusQuery(("x",), Atom("R", ("x", "x")))
+
+    def test_non_strict_allows_illegal(self):
+        q = CalculusQuery(("x",), Atom("R", ("x", "x")), strict=False)
+        assert q.evaluate({"R": cvset(tup(1, 1), tup(1, 2))}) == cvset(tup(1))
+
+    def test_head_must_match_free_vars(self):
+        with pytest.raises(CalculusError):
+            CalculusQuery(("x", "z"), Atom("R", ("x", "y")))
+
+
+class TestEvaluation:
+    def test_atom(self):
+        q = CalculusQuery(("x", "y"), Atom("R", ("x", "y")))
+        assert q.evaluate(DB) == DB["R"]
+
+    def test_head_reorders(self):
+        q = CalculusQuery(("y", "x"), Atom("R", ("x", "y")))
+        assert q.evaluate(DB) == cvset(tup(2, 1), tup(3, 2))
+
+    def test_exists_projects(self):
+        q = CalculusQuery(("x",), Exists("y", Atom("R", ("x", "y"))))
+        assert q.evaluate(DB) == cvset(tup(1), tup(2))
+
+    def test_or_unions(self):
+        q = CalculusQuery(
+            ("x", "y"), Or(Atom("R", ("x", "y")), Atom("R", ("y", "x")))
+        )
+        assert q.evaluate(DB) == cvset(
+            tup(1, 2), tup(2, 3), tup(2, 1), tup(3, 2)
+        )
+
+    def test_and_cross_product(self):
+        q = CalculusQuery(
+            ("x", "y", "z"),
+            And(Atom("R", ("x", "y")), Atom("S", ("z",))),
+        )
+        out = q.evaluate(DB)
+        assert len(out) == 4
+        assert tup(1, 2, 9) in out
+
+    def test_missing_relation_is_empty(self):
+        q = CalculusQuery(("x", "y"), Atom("T", ("x", "y")))
+        assert q.evaluate(DB) == CVSet()
+
+    def test_arity_mismatch_rejected(self):
+        q = CalculusQuery(("x",), Atom("S", ("x",)))
+        with pytest.raises(CalculusError):
+            q.evaluate({"S": cvset(tup(1, 2))})
+
+    def test_eq_atom_uses_active_domain(self):
+        q = CalculusQuery(
+            ("x", "y"),
+            EqAtom("x", "y"),
+            strict=False,
+        )
+        out = q.evaluate({"S": cvset(tup(5,), tup(6,))})
+        assert out == cvset(tup(5, 5), tup(6, 6))
+
+
+class TestAsQuery:
+    def test_single_relation(self):
+        q = CalculusQuery(("x",), Exists("y", Atom("R", ("x", "y"))))
+        wrapped = q.as_query(("R",))
+        assert wrapped.fn(DB["R"]) == cvset(tup(1), tup(2))
+
+    def test_multiple_relations(self):
+        q = CalculusQuery(
+            ("x", "z"),
+            And(Exists("y", Atom("R", ("x", "y"))), Atom("S", ("z",))),
+        )
+        wrapped = q.as_query(("R", "S"))
+        out = wrapped.fn(Tup((DB["R"], DB["S"])))
+        assert tup(1, 2) in out
+        assert tup(2, 9) in out

@@ -1,0 +1,65 @@
+"""Tests for division, semijoin, antijoin."""
+
+from repro.algebra.derived_ops import antijoin, division, semijoin
+from repro.types.values import CVSet, Tup, cvset, tup
+
+
+R = cvset(tup(1, "a"), tup(1, "b"), tup(2, "a"), tup(3, "c"))
+S_KEYS = cvset(tup(1), tup(3))
+
+
+class TestSemijoin:
+    def test_keeps_matching_r_tuples(self):
+        out = semijoin().fn(Tup((R, S_KEYS)))
+        assert out == cvset(tup(1, "a"), tup(1, "b"), tup(3, "c"))
+
+    def test_empty_s_gives_empty(self):
+        assert semijoin().fn(Tup((R, CVSet()))) == CVSet()
+
+    def test_output_columns_are_rs(self):
+        out = semijoin().fn(Tup((R, S_KEYS)))
+        assert all(len(t) == 2 for t in out)
+
+    def test_uses_equality_flag(self):
+        assert semijoin().uses_equality
+
+
+class TestAntijoin:
+    def test_complement_of_semijoin_within_r(self):
+        semi = semijoin().fn(Tup((R, S_KEYS)))
+        anti = antijoin().fn(Tup((R, S_KEYS)))
+        assert semi.union(anti) == R
+        assert semi.intersection(anti) == CVSet()
+
+    def test_empty_s_keeps_all(self):
+        assert antijoin().fn(Tup((R, CVSet()))) == R
+
+
+class TestDivision:
+    def test_basic(self):
+        r = cvset(tup("x", 1), tup("x", 2), tup("y", 1))
+        s = cvset(tup(1), tup(2))
+        assert division().fn(Tup((r, s))) == cvset(tup("x"))
+
+    def test_empty_divisor_returns_all_firsts(self):
+        r = cvset(tup("x", 1), tup("y", 2))
+        assert division().fn(Tup((r, CVSet()))) == cvset(tup("x"), tup("y"))
+
+    def test_no_tuple_qualifies(self):
+        r = cvset(tup("x", 1))
+        s = cvset(tup(1), tup(2))
+        assert division().fn(Tup((r, s))) == CVSet()
+
+    def test_matches_algebraic_definition(self):
+        # R / S == pi1(R) - pi1((pi1(R) x S) - R)
+        import itertools
+
+        r = cvset(tup("x", 1), tup("x", 2), tup("y", 2), tup("z", 1))
+        s = cvset(tup(1), tup(2))
+        firsts = {t[0] for t in r}
+        crossed = {Tup((a, b[0])) for a in firsts for b in s}
+        missing = crossed - set(r)
+        expected = CVSet(
+            Tup((a,)) for a in firsts if a not in {t[0] for t in missing}
+        )
+        assert division().fn(Tup((r, s))) == expected

@@ -1,0 +1,74 @@
+"""Tests for fixpoint and while operations."""
+
+import pytest
+
+from repro.algebra.fixpoint import (
+    inflationary_fixpoint,
+    transitive_closure,
+    while_query,
+)
+from repro.algebra.operators import self_compose
+from repro.algebra.query import Query
+from repro.types.ast import INT, set_of
+from repro.types.values import CVSet, cvset, tup
+
+
+class TestTransitiveClosure:
+    def test_chain(self):
+        r = cvset(tup(1, 2), tup(2, 3), tup(3, 4))
+        out = transitive_closure().fn(r)
+        assert tup(1, 4) in out
+        assert tup(1, 3) in out
+        assert r.issubset(out)
+        assert len(out) == 6
+
+    def test_cycle(self):
+        r = cvset(tup(1, 2), tup(2, 1))
+        out = transitive_closure().fn(r)
+        assert tup(1, 1) in out
+        assert tup(2, 2) in out
+
+    def test_empty(self):
+        assert transitive_closure().fn(CVSet()) == CVSet()
+
+    def test_already_closed_is_fixpoint(self):
+        r = cvset(tup(1, 2), tup(2, 3), tup(1, 3))
+        out = transitive_closure().fn(r)
+        assert out == r
+
+
+class TestInflationaryFixpoint:
+    def test_monotone_growth_stops(self):
+        # Body adds successors of existing atoms up to a ceiling.
+        def grow(s):
+            return CVSet(x + 1 for x in s if x < 5)
+
+        body = Query("grow", grow, set_of(INT), set_of(INT))
+        q = inflationary_fixpoint(body)
+        assert q.fn(cvset(1)) == cvset(1, 2, 3, 4, 5)
+
+    def test_name_and_metadata(self):
+        q = inflationary_fixpoint(self_compose())
+        assert q.name.startswith("fix(")
+        assert q.uses_equality
+
+
+class TestWhile:
+    def test_countdown(self):
+        def shrink(s):
+            return CVSet(x for x in s if x != max(s))
+
+        body = Query("shrink", shrink, set_of(INT), set_of(INT))
+        q = while_query(lambda s: len(s) > 2, body)
+        out = q.fn(cvset(1, 2, 3, 4, 5))
+        assert out == cvset(1, 2)
+
+    def test_false_condition_is_identity(self):
+        body = Query("never", lambda s: CVSet(), set_of(INT), set_of(INT))
+        q = while_query(lambda _s: False, body)
+        assert q.fn(cvset(1)) == cvset(1)
+
+    def test_stabilizing_body_terminates(self):
+        body = Query("same", lambda s: s, set_of(INT), set_of(INT))
+        q = while_query(lambda _s: True, body)
+        assert q.fn(cvset(1)) == cvset(1)

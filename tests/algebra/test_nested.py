@@ -1,0 +1,94 @@
+"""Tests for nested-relational operations."""
+
+from repro.algebra.nested import (
+    deep_flatten,
+    flatten,
+    nest,
+    nest_parity,
+    powerset,
+    set_map,
+    singleton,
+    unnest,
+)
+from repro.types.ast import INT
+from repro.types.values import CVSet, cvset, tup
+
+
+class TestPowerset:
+    def test_counts(self):
+        out = powerset().fn(cvset(1, 2))
+        assert len(out) == 4
+        assert cvset() in out
+        assert cvset(1, 2) in out
+
+    def test_empty(self):
+        assert powerset().fn(cvset()) == cvset(cvset())
+
+
+class TestNestUnnest:
+    def test_nest_groups(self):
+        r = cvset(tup("a", 1), tup("a", 2), tup("b", 3))
+        out = nest((0,), (1,), 2).fn(r)
+        assert tup("a", cvset(tup(1), tup(2))) in out
+        assert tup("b", cvset(tup(3))) in out
+
+    def test_unnest_inverts_nest(self):
+        r = cvset(tup("a", 1), tup("a", 2), tup("b", 3))
+        nested = nest((0,), (1,), 2).fn(r)
+        flat = unnest(1, 2).fn(nested)
+        assert flat == r
+
+    def test_unnest_atom_elements(self):
+        r = cvset(tup("a", cvset(1, 2)))
+        out = unnest(1, 2).fn(r)
+        assert out == cvset(tup("a", 1), tup("a", 2))
+
+    def test_nest_uses_equality(self):
+        assert nest((0,), (1,), 2).uses_equality
+
+
+class TestMonadStructure:
+    def test_singleton(self):
+        assert singleton().fn(5) == cvset(5)
+
+    def test_flatten(self):
+        assert flatten().fn(cvset(cvset(1), cvset(2, 3))) == cvset(1, 2, 3)
+
+    def test_monad_laws_on_samples(self):
+        eta, mu = singleton(), flatten()
+        s = cvset(1, 2)
+        # mu . eta = id on sets
+        assert mu.fn(eta.fn(s)) == s
+        # mu . map(eta) = id
+        mapped = CVSet(eta.fn(x) for x in s)
+        assert mu.fn(mapped) == s
+
+    def test_set_map(self):
+        q = set_map(lambda x: x * 2, "dbl", INT, INT)
+        assert q.fn(cvset(1, 2)) == cvset(2, 4)
+
+
+class TestNestParity:
+    def test_depth_parity(self):
+        np = nest_parity()
+        assert np.fn(cvset(1)) is False        # depth 1
+        assert np.fn(cvset(cvset(1))) is True  # depth 2
+        assert np.fn(cvset(cvset(cvset(1)))) is False
+
+    def test_empty_set_has_depth_one(self):
+        assert nest_parity().fn(cvset()) is False
+
+    def test_structural_only(self):
+        # Same structure, different atoms: same answer.
+        np = nest_parity()
+        assert np.fn(cvset(cvset("a"))) == np.fn(cvset(cvset(99)))
+
+
+class TestDeepFlatten:
+    def test_flattens_all_levels(self):
+        v = cvset(cvset(1, cvset(2)), cvset(3))
+        assert deep_flatten().fn(v) == cvset(1, 2, 3)
+
+    def test_atoms_pass_through_tuples(self):
+        v = cvset(tup(1, cvset(2)))
+        assert deep_flatten().fn(v) == cvset(1, 2)

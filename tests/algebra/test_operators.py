@@ -1,0 +1,164 @@
+"""Tests for the relational operator catalog (Section 3)."""
+
+import pytest
+
+from repro.algebra.operators import (
+    active_domain,
+    adom_complement,
+    cross_op,
+    difference_op,
+    eq_adom,
+    empty_query,
+    even_query,
+    full_complement,
+    hat_select_eq,
+    identity_query,
+    ins_const,
+    intersection_op,
+    map_query,
+    natural_join,
+    projection,
+    projection_out,
+    rename_query,
+    select_const,
+    select_eq,
+    select_pred,
+    self_compose,
+    self_cross,
+    union_op,
+)
+from repro.types.ast import INT
+from repro.types.values import CVSet, Tup, cvset, tup
+
+
+R = cvset(tup(1, 2), tup(2, 3), tup(1, 3))
+S = cvset(tup(1, 2), tup(3, 4))
+
+
+class TestProjection:
+    def test_projects_columns(self):
+        assert projection((0,), 2).fn(R) == cvset(tup(1), tup(2))
+
+    def test_reorders(self):
+        assert projection((1, 0), 2).fn(S) == cvset(tup(2, 1), tup(4, 3))
+
+    def test_projection_out(self):
+        q = projection_out(1, 3)
+        assert q.fn(cvset(tup(1, 2, 3))) == cvset(tup(1, 3))
+
+    def test_duplicates_collapse(self):
+        r = cvset(tup(1, 2), tup(1, 3))
+        assert projection((0,), 2).fn(r) == cvset(tup(1))
+
+    def test_type_is_polymorphic(self):
+        q = projection((0,), 2)
+        assert q.defined_at_all_types()
+        assert not q.uses_equality
+
+
+class TestSelection:
+    def test_select_eq(self):
+        r = cvset(tup(1, 1), tup(1, 2))
+        assert select_eq(0, 1, 2).fn(r) == cvset(tup(1, 1))
+
+    def test_select_eq_marks_equality(self):
+        assert select_eq(0, 1, 2).uses_equality
+
+    def test_hat_select_drops_duplicate_column(self):
+        r = cvset(tup(1, 1), tup(1, 2))
+        assert hat_select_eq(0, 1, 2).fn(r) == cvset(tup(1))
+
+    def test_hat_select_three_columns(self):
+        r = cvset(tup(1, 1, "x"), tup(1, 2, "y"))
+        assert hat_select_eq(0, 1, 3).fn(r) == cvset(tup(1, "x"))
+
+    def test_select_const(self):
+        r = cvset(tup(7, 1), tup(8, 2))
+        assert select_const(0, 7, 2, INT).fn(r) == cvset(tup(7, 1))
+
+    def test_select_pred(self):
+        q = select_pred(lambda x: x > 1, "gt1", INT)
+        assert q.fn(cvset(0, 1, 2, 3)) == cvset(2, 3)
+
+
+class TestBinaryOperators:
+    def test_union(self):
+        assert union_op().fn(Tup((R, S))) == R.union(S)
+
+    def test_intersection(self):
+        assert intersection_op().fn(Tup((R, S))) == cvset(tup(1, 2))
+
+    def test_difference(self):
+        assert difference_op().fn(Tup((R, S))) == cvset(tup(2, 3), tup(1, 3))
+
+    def test_cross(self):
+        out = cross_op().fn(Tup((cvset(1), cvset("a", "b"))))
+        assert out == cvset(tup(1, "a"), tup(1, "b"))
+
+    def test_join(self):
+        q = natural_join(2, 2, on=[(1, 0)])
+        out = q.fn(Tup((R, S)))
+        assert tup(1, 3, 3, 4) in out
+        assert tup(2, 3, 3, 4) in out
+        assert tup(1, 2, 1, 2) not in out  # 2 != 1
+
+
+class TestSelfOperators:
+    def test_self_cross(self):
+        r = cvset("a", "b")
+        out = self_cross().fn(r)
+        assert len(out) == 4
+        assert tup("a", "b") in out
+
+    def test_self_compose_is_paper_q1(self):
+        # Example 2.2's computation.
+        from repro.engine.workload import paper_r1
+
+        assert self_compose().fn(paper_r1()) == cvset(tup("e", "g"), tup("i", "g"))
+
+    def test_self_compose_empty_on_broken_chain(self):
+        from repro.engine.workload import paper_r3
+
+        assert self_compose().fn(paper_r3()) == CVSet()
+
+
+class TestDomainOperators:
+    def test_active_domain(self):
+        assert active_domain(2).fn(R) == cvset(1, 2, 3)
+
+    def test_eq_adom(self):
+        out = eq_adom().fn(cvset(1, 2))
+        assert out == cvset(tup(1, 1), tup(2, 2))
+
+    def test_adom_complement(self):
+        r = cvset(tup(1, 2))
+        out = adom_complement(2).fn(r)
+        assert out == cvset(tup(1, 1), tup(2, 1), tup(2, 2))
+
+    def test_full_complement(self):
+        q = full_complement([0, 1], 1)
+        assert q.fn(cvset(tup(0))) == cvset(tup(1))
+
+    def test_even(self):
+        assert even_query().fn(cvset()) is True
+        assert even_query().fn(cvset(1)) is False
+        assert even_query().fn(cvset(1, 2)) is True
+
+
+class TestOtherOperators:
+    def test_identity(self):
+        assert identity_query().fn(R) == R
+
+    def test_empty(self):
+        assert empty_query().fn(R) == CVSet()
+
+    def test_ins_const(self):
+        assert ins_const(7, INT).fn(cvset(1)) == cvset(1, 7)
+        assert ins_const(7, INT).fn(cvset(7)) == cvset(7)
+
+    def test_map_query(self):
+        q = map_query(lambda x: x + 1, "inc", INT, INT)
+        assert q.fn(cvset(1, 2)) == cvset(2, 3)
+
+    def test_rename(self):
+        assert rename_query((1, 0), 2).fn(S) == cvset(tup(2, 1), tup(4, 3))

@@ -1,0 +1,72 @@
+"""Tests for the Query abstraction and its combinators."""
+
+from repro.algebra.operators import projection, select_eq, self_cross, union_op
+from repro.algebra.query import Query, compose, constant_query, pair_query
+from repro.types.ast import INT, Product, SetType, set_of, tvar
+from repro.types.values import CVSet, Tup, cvset, tup
+
+
+class TestQueryBasics:
+    def test_call(self):
+        q = Query("inc-all", lambda s: CVSet(x + 1 for x in s),
+                  set_of(INT), set_of(INT))
+        assert q(cvset(1, 2)) == cvset(2, 3)
+
+    def test_defined_at_all_types(self):
+        assert projection((0,), 2).defined_at_all_types()
+        poly = Query("id", lambda v: v, tvar("X"), tvar("X"))
+        assert poly.defined_at_all_types()
+        mono = Query("c", lambda v: v, set_of(INT), set_of(INT))
+        assert not mono.defined_at_all_types()
+
+    def test_instantiate(self):
+        q = projection((0,), 2).instantiate({"X1": INT, "X2": INT})
+        assert q.input_type == set_of(INT * INT)
+
+    def test_repr_mentions_types(self):
+        assert "{X1 * X2}" in repr(projection((0,), 2))
+
+
+class TestComposition:
+    def test_function_composition(self):
+        q = compose(projection((0,), 2), select_eq(0, 1, 2))
+        r = cvset(tup(1, 1), tup(1, 2))
+        assert q.fn(r) == cvset(tup(1))
+
+    def test_equality_flag_propagates(self):
+        q = compose(projection((0,), 2), select_eq(0, 1, 2))
+        assert q.uses_equality
+
+    def test_output_type_tracks_inner_shape(self):
+        # RxR after pi_1 produces pairs of 1-tuples; the composed type
+        # must say so (regression for the unification fix).
+        q = compose(self_cross(), projection((0,), 2))
+        expected_element = Product(
+            (Product((tvar("X1"),)), Product((tvar("X1"),)))
+        )
+        assert q.output_type == SetType(expected_element)
+
+    def test_then_is_flipped_compose(self):
+        a = projection((0,), 2)
+        b = self_cross()
+        assert a.then(b).name == compose(b, a).name
+
+
+class TestPairQuery:
+    def test_runs_both(self):
+        q = pair_query(projection((0,), 2), projection((1,), 2))
+        out = q.fn(cvset(tup(1, 2)))
+        assert out == Tup((cvset(tup(1)), cvset(tup(2))))
+
+    def test_composes_with_binary_operator(self):
+        q = compose(union_op(), pair_query(projection((0,), 2),
+                                           projection((1,), 2)))
+        out = q.fn(cvset(tup(1, 2), tup(3, 4)))
+        assert out == cvset(tup(1), tup(3), tup(2), tup(4))
+
+
+class TestConstantQuery:
+    def test_always_returns_value(self):
+        q = constant_query("k", cvset(9), set_of(INT), set_of(INT))
+        assert q.fn(cvset(1)) == cvset(9)
+        assert q.fn(cvset()) == cvset(9)

@@ -1,0 +1,77 @@
+"""Tests for the in-memory database engine."""
+
+import pytest
+
+from repro.engine.database import Database, SchemaError
+from repro.optimizer.plan import Project, Scan, Union
+from repro.types.values import CVSet, cvset, tup
+
+
+@pytest.fixture()
+def db():
+    d = Database()
+    d.create("people", 2, keys=[(0,)])
+    d.insert("people", [(1, "ada"), (2, "bob")])
+    return d
+
+
+class TestSchema:
+    def test_create_and_insert(self, db):
+        assert len(db["people"]) == 2
+        assert tup(1, "ada") in db["people"]
+
+    def test_unknown_relation_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("ghost", [(1, "x")])
+
+    def test_arity_enforced(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("people", [(1,)])
+
+    def test_key_enforced(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("people", [(1, "eve")])  # duplicate key, new tuple
+
+    def test_idempotent_reinsert_ok(self, db):
+        db.insert("people", [(1, "ada")])  # same tuple: no violation
+        assert len(db["people"]) == 2
+
+    def test_keyless_relation_allows_duplicates(self):
+        d = Database()
+        d.create("log", 2)
+        d.insert("log", [(1, "a"), (1, "b")])
+        assert len(d["log"]) == 2
+
+
+class TestOperations:
+    def test_active_domain(self, db):
+        assert db.active_domain() == frozenset({1, 2, "ada", "bob"})
+
+    def test_run_plan(self, db):
+        result = db.run(Project((1,), Scan("people")))
+        assert result.value == cvset(tup("ada"), tup("bob"))
+
+    def test_contains_and_setitem(self, db):
+        assert "people" in db
+        db["extra"] = cvset(tup(9, "x"))
+        assert "extra" in db
+
+    def test_snapshot_is_shallow_copy(self, db):
+        snap = db.snapshot()
+        db["people"] = CVSet()
+        assert len(snap["people"]) == 2
+
+    def test_repr(self, db):
+        assert "people[2]" in repr(db)
+
+    def test_signature_defaults_to_standard(self, db):
+        assert "even" in db.signature
+
+    def test_query_text(self, db):
+        result = db.query("pi[2](people)")
+        assert result.value == cvset(tup("ada"), tup("bob"))
+
+    def test_query_text_optimized(self, db):
+        plain = db.query("pi[1](people U people)")
+        optimized = db.query("pi[1](people U people)", optimize=True)
+        assert plain.value == optimized.value

@@ -1,0 +1,124 @@
+"""Tests for value/database JSON serialization."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.database import Database
+from repro.engine.serialize import (
+    SerializeError,
+    database_from_json,
+    database_to_json,
+    load_database,
+    save_database,
+    value_from_json,
+    value_to_json,
+)
+from repro.engine.workload import hr_database
+from repro.types.values import CVBag, CVList, CVSet, Tup, cvbag, cvlist, cvset, tup
+
+
+class TestValueRoundtrip:
+    def test_atoms(self):
+        for atom in (5, -2, 1.5, "x", True, False):
+            assert value_from_json(value_to_json(atom)) == atom
+
+    def test_bool_survives_int_confusion(self):
+        # JSON has no bool-vs-int problem, but Python's bool subclasses
+        # int; the tag keeps them apart.
+        decoded = value_from_json(value_to_json(True))
+        assert decoded is True
+        decoded_int = value_from_json(value_to_json(1))
+        assert decoded_int == 1 and not isinstance(decoded_int, bool)
+
+    def test_collections(self):
+        for value in (
+            tup(1, "a"),
+            cvset(1, 2),
+            cvlist(1, 1, 2),
+            cvbag(1, 1, 2),
+            cvset(tup(1, cvlist("a")), tup(2, cvlist())),
+            cvset(cvset(1), cvset()),
+        ):
+            assert value_from_json(value_to_json(value)) == value
+
+    def test_bag_multiplicities(self):
+        b = cvbag(1, 1, 1, 2)
+        decoded = value_from_json(value_to_json(b))
+        assert decoded.count(1) == 3
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializeError):
+            value_from_json({"weird": []})
+        with pytest.raises(SerializeError):
+            value_from_json(None)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(SerializeError):
+            value_to_json(object())
+
+
+nested_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-5, max_value=5),
+        st.sampled_from(["a", "b"]),
+        st.booleans(),
+    ),
+    lambda children: st.one_of(
+        st.frozensets(children, max_size=3).map(CVSet),
+        st.lists(children, max_size=3).map(CVList),
+        st.lists(children, max_size=3).map(CVBag),
+        st.tuples(children, children).map(Tup),
+    ),
+    max_leaves=8,
+)
+
+
+class TestValueRoundtripProperty:
+    @given(nested_values)
+    @settings(max_examples=150)
+    def test_roundtrip(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+
+class TestDatabaseRoundtrip:
+    def test_hr_database(self, tmp_path):
+        db = hr_database(random.Random(0), employees=10, students=6, overlap=2)
+        path = tmp_path / "db.json"
+        save_database(db, str(path))
+        loaded = load_database(str(path))
+        assert loaded.relations == db.relations
+        assert loaded.catalog["employees"].keys == db.catalog["employees"].keys
+        assert (
+            loaded.catalog.shared_key_group("students", (0,))
+            == db.catalog.shared_key_group("students", (0,))
+        )
+
+    def test_plans_agree_after_reload(self, tmp_path):
+        from repro.optimizer.parser import parse_plan
+
+        db = hr_database(random.Random(1), employees=8, students=5, overlap=1)
+        path = tmp_path / "db.json"
+        save_database(db, str(path))
+        loaded = load_database(str(path))
+        text = "pi[1](employees - students)"
+        assert db.query(text).value == loaded.query(text).value
+
+    def test_schemaless_relation_roundtrips(self):
+        db = Database()
+        db["free"] = cvset(tup(1, 2))
+        rebuilt = database_from_json(database_to_json(db))
+        assert rebuilt["free"] == cvset(tup(1, 2))
+
+    def test_key_violation_detected_on_load(self):
+        # Tampered payload violating a declared key is rejected.
+        db = Database()
+        db.create("k", 2, keys=[(0,)])
+        db.insert("k", [(1, "a")])
+        payload = database_to_json(db)
+        payload["relations"]["k"].append(value_to_json(tup(1, "b")))
+        from repro.engine.database import SchemaError
+
+        with pytest.raises(SchemaError):
+            database_from_json(payload)

@@ -1,0 +1,86 @@
+"""Tests for the synthetic workload generators."""
+
+import random
+
+import pytest
+
+from repro.engine.workload import (
+    hr_database,
+    layered_graph,
+    paper_h_pairs,
+    paper_r1,
+    paper_r2,
+    paper_r3,
+    random_database,
+    random_graph,
+)
+from repro.mappings.extensions import REL, STRONG
+from repro.mappings.families import MappingFamily
+from repro.mappings.mapping import Mapping
+from repro.optimizer.constraints import check_key_on_instance
+from repro.types.ast import STR, set_of
+from repro.types.values import Tup, cvset, tup
+
+
+class TestPaperInstances:
+    def test_r1_contents(self):
+        assert len(paper_r1()) == 6
+        assert tup("e", "f") in paper_r1()
+
+    def test_r3_is_r1_minus_three(self):
+        removed = cvset(tup("e", "f"), tup("i", "f"), tup("j", "g"))
+        assert paper_r3() == paper_r1().difference(removed)
+
+    def test_h_is_strong_hom_r1_r2_only(self):
+        fam = MappingFamily({"str": Mapping(paper_h_pairs(), STR, STR)})
+        t = set_of(STR * STR)
+        assert fam.extend(t, STRONG).holds(paper_r1(), paper_r2())
+        assert fam.extend(t, REL).holds(paper_r3(), paper_r2())
+        assert not fam.extend(t, STRONG).holds(paper_r3(), paper_r2())
+
+
+class TestGraphs:
+    def test_random_graph_size(self):
+        g = random_graph(random.Random(0), nodes=6, edges=8)
+        assert 0 < len(g) <= 8
+        assert all(isinstance(t, Tup) and len(t) == 2 for t in g)
+
+    def test_layered_graph_edges_cross_layers(self):
+        g = layered_graph(random.Random(0), layers=3, width=2)
+        for a, b in g:
+            layer_a = int(a.split("_")[0][1:])
+            layer_b = int(b.split("_")[0][1:])
+            assert layer_b == layer_a + 1
+
+
+class TestHRDatabase:
+    def test_shared_key_holds_on_union(self):
+        db = hr_database(random.Random(0), employees=20, students=15,
+                         overlap=7)
+        union = db["employees"].union(db["students"])
+        assert check_key_on_instance(union, (0,))
+
+    def test_overlap_produces_shared_tuples(self):
+        db = hr_database(random.Random(0), employees=10, students=10,
+                         overlap=5)
+        shared = db["employees"].intersection(db["students"])
+        assert len(shared) == 5
+
+    def test_schema_declared(self):
+        db = hr_database(random.Random(0), employees=5, students=5)
+        assert db.catalog.key_for("employees", (0,))
+        assert db.catalog.shared_key_group("students", (0,)) == "ssn"
+        assert db.catalog.shared_key_group("contractors", (0,)) is None
+
+
+class TestRandomDatabase:
+    def test_shape(self):
+        dbs = random_database(random.Random(0), ("R", "S"), arity=3)
+        assert set(dbs) == {"R", "S"}
+        for rel in dbs.values():
+            assert all(len(t) == 3 for t in rel)
+
+    def test_deterministic_under_seed(self):
+        a = random_database(random.Random(5), ("R",))
+        b = random_database(random.Random(5), ("R",))
+        assert a == b

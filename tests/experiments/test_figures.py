@@ -1,0 +1,44 @@
+"""Tests for the ASCII figure rendering."""
+
+from repro.experiments.figures import bar_chart, figure_opt_cost, figure_search_effort
+from repro.experiments.report import ExperimentResult
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        chart = bar_chart(["a", "b"], [1, 10], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 1
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert bar_chart([], []) == "(no data)"
+
+    def test_zero_values_render_minimum_bar(self):
+        chart = bar_chart(["a"], [0])
+        assert "#" in chart
+
+    def test_unit_suffix(self):
+        assert "5 ms" in bar_chart(["x"], [5], unit=" ms")
+
+
+class TestFigures:
+    def test_opt_cost_figure(self):
+        result = ExperimentResult(
+            "E-OPT-COST", "t", "c",
+            ("size", "plan", "before", "after", "speedup"),
+        )
+        result.add(50, "pi(R U S)", 300, 200, "1.50x")
+        figure = figure_opt_cost(result)
+        assert "Figure 1" in figure
+        assert "original" in figure and "optimized" in figure
+
+    def test_search_effort_figure(self):
+        result = ExperimentResult(
+            "E-ABLATION-SEARCH", "t", "c",
+            ("query", "size", "mode", "trials", "pairs"),
+        )
+        result.add("sigma", 4, "rel", 3, 12)
+        figure = figure_search_effort(result)
+        assert "Figure 2" in figure
+        assert "|D|=4" in figure

@@ -1,0 +1,90 @@
+"""Tests for the curated classification catalog ("Table 1")."""
+
+import pytest
+
+from repro.genericity.catalog import PAPER_TABLE, CatalogEntry, expected_cell
+from repro.mappings.extensions import REL, STRONG
+
+
+class TestTableShape:
+    def test_all_sections_covered(self):
+        names = {entry.name for entry in PAPER_TABLE}
+        for expected in ("projection", "union", "sigma-eq", "sigma-hat",
+                         "difference", "eq_adom", "even", "powerset"):
+            assert expected in names
+
+    def test_factories_build_queries(self):
+        for entry in PAPER_TABLE:
+            query = entry.factory()
+            assert query.name
+            assert query.input_type is not None
+
+    def test_every_entry_cites_a_source(self):
+        for entry in PAPER_TABLE:
+            assert entry.paper_source
+
+
+class TestExpectations:
+    def _entry(self, name: str) -> CatalogEntry:
+        return next(e for e in PAPER_TABLE if e.name == name)
+
+    def test_fully_generic_rows(self):
+        for name in ("projection", "union", "cross", "flatten", "unnest"):
+            entry = self._entry(name)
+            assert expected_cell(entry, "all", REL) is True
+            assert expected_cell(entry, "all", STRONG) is True
+
+    def test_sigma_eq_profile(self):
+        entry = self._entry("sigma-eq")
+        assert expected_cell(entry, "all", REL) is False
+        assert expected_cell(entry, "all", STRONG) is False
+        assert expected_cell(entry, "injective", REL) is True
+
+    def test_mode_separating_rows(self):
+        # sigma-hat and eq_adom separate the hierarchies in opposite
+        # directions — the paper's incomparability result.
+        hat = self._entry("sigma-hat")
+        eq = self._entry("eq_adom")
+        assert expected_cell(hat, "all", STRONG) is True
+        assert expected_cell(hat, "all", REL) is False
+        assert expected_cell(eq, "all", REL) is True
+        assert expected_cell(eq, "all", STRONG) is False
+
+    def test_derived_nested_profiles(self):
+        powerset = self._entry("powerset")
+        singleton = self._entry("singleton")
+        for entry in (powerset, singleton):
+            assert expected_cell(entry, "all", REL) is True
+            assert expected_cell(entry, "all", STRONG) is False
+            assert expected_cell(entry, "injective", STRONG) is True
+
+    def test_monotone_in_the_lattice(self):
+        # Expectations must respect Prop 2.10: if generic for a larger
+        # class, generic for every contained class.
+        from repro.genericity.hierarchy import _CONTAINS
+
+        for entry in PAPER_TABLE:
+            for (cls, mode), generic in entry.expectation.items():
+                if not generic:
+                    continue
+                for smaller in _CONTAINS[cls]:
+                    value = entry.expectation.get((smaller, mode))
+                    if value is not None:
+                        assert value, (entry.name, cls, smaller, mode)
+
+
+class TestMeasuredSpotChecks:
+    """Light-weight spot checks; the full sweep is experiment E-TABLE1."""
+
+    @pytest.mark.parametrize("name", ["projection", "sigma-eq"])
+    def test_cells_match_measurement(self, name):
+        from repro.genericity.classify import classify
+
+        entry = next(e for e in PAPER_TABLE if e.name == name)
+        row = classify(entry.factory(), trials=25)
+        for verdict in row.verdicts:
+            expected = expected_cell(entry, verdict.spec.name, verdict.mode)
+            if expected is not None:
+                assert verdict.generic == expected, (
+                    name, verdict.spec.name, verdict.mode
+                )

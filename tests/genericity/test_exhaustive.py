@@ -1,0 +1,108 @@
+"""Tests for the exhaustive (exact) verification tier."""
+
+import pytest
+
+from repro.algebra.operators import (
+    eq_adom,
+    hat_select_eq,
+    projection,
+    select_eq,
+    self_cross,
+    union_op,
+)
+from repro.genericity.exhaustive import (
+    ExhaustiveReport,
+    all_values_of,
+    exhaustive_check,
+)
+from repro.mappings.extensions import REL, STRONG
+from repro.types.ast import BOOL, INT, Product, bag_of, list_of, set_of
+from repro.types.values import CVBag, CVList, CVSet, Tup, cvset
+
+
+class TestValueEnumeration:
+    def test_base(self):
+        assert list(all_values_of(INT, {"int": [1, 2]})) == [1, 2]
+
+    def test_bool_defaults(self):
+        assert set(all_values_of(BOOL, {})) == {True, False}
+
+    def test_product_counts(self):
+        values = list(all_values_of(INT * INT, {"int": [0, 1]}))
+        assert len(values) == 4
+
+    def test_set_counts(self):
+        values = list(all_values_of(set_of(INT), {"int": [0, 1]}, 2))
+        # {} {0} {1} {0,1}
+        assert len(values) == 4
+
+    def test_list_counts(self):
+        values = list(all_values_of(list_of(INT), {"int": [0, 1]}, 2))
+        # lengths 0,1,2: 1 + 2 + 4
+        assert len(values) == 7
+
+    def test_bag_counts(self):
+        values = list(all_values_of(bag_of(INT), {"int": [0, 1]}, 2))
+        # sizes 0,1,2 with repetition: 1 + 2 + 3
+        assert len(values) == 6
+
+    def test_nested(self):
+        values = list(
+            all_values_of(set_of(set_of(INT)), {"int": [0]}, 2)
+        )
+        # inner: {}, {0}; outer subsets of those up to size 2: 4
+        assert len(values) == 4
+
+
+class TestExactVerdicts:
+    """Complete case analyses — finite proofs at domain size 2."""
+
+    def test_projection_generic_everywhere_exactly(self):
+        # Strong mode relates far fewer pairs (maximality), so only a
+        # lower coverage bar applies there.
+        for mode, min_pairs in ((REL, 100), (STRONG, 20)):
+            report = exhaustive_check(projection((0,), 2), mode, 2, 2)
+            assert report.generic, report
+            assert report.pairs_checked > min_pairs
+
+    def test_cross_generic_exactly(self):
+        report = exhaustive_check(self_cross(), REL, 2, 2)
+        assert report.generic
+
+    def test_selection_violations_exactly_non_injective(self):
+        # Every violating mapping must be non-injective; injective
+        # mappings admit none.
+        report = exhaustive_check(
+            select_eq(0, 1, 2), REL, 2, 2, max_violations=100
+        )
+        assert not report.generic
+        assert all(not m.is_functional() or not m.is_injective()
+                   for m, _v, _p in report.violations)
+        clean = exhaustive_check(
+            select_eq(0, 1, 2), REL, 2, 2,
+            mapping_filter=lambda m: m.is_injective(),
+        )
+        assert clean.generic
+
+    def test_hat_selection_strong_generic_exactly(self):
+        report = exhaustive_check(hat_select_eq(0, 1, 2), STRONG, 2, 2)
+        assert report.generic
+
+    def test_hat_selection_rel_not_generic(self):
+        report = exhaustive_check(hat_select_eq(0, 1, 2), REL, 2, 2)
+        assert not report.generic
+
+    def test_eq_adom_split_exactly(self):
+        rel_report = exhaustive_check(eq_adom(), REL, 2, 2)
+        assert rel_report.generic
+        strong_report = exhaustive_check(eq_adom(), STRONG, 2, 2)
+        assert not strong_report.generic
+
+    def test_union_generic_exactly(self):
+        report = exhaustive_check(union_op(), REL, 2, 2, max_collection=1)
+        assert report.generic
+
+    def test_report_repr(self):
+        report = exhaustive_check(projection((0,), 2), REL, 2, 2)
+        assert "generic" in repr(report)
+        assert "mappings" in repr(report)

@@ -1,0 +1,146 @@
+"""Tests for the genericity-class lattice (Sections 2.3-2.5)."""
+
+import random
+
+import pytest
+
+from repro.genericity.hierarchy import (
+    STANDARD_LATTICE,
+    GenericitySpec,
+    constrain_to_unary_predicate,
+    force_preserve_constant,
+    spec_leq,
+)
+from repro.mappings.families import (
+    ConstantSpec,
+    preserves_constant,
+    strictly_preserves_constant,
+)
+from repro.mappings.mapping import Mapping
+from repro.types.ast import BOOL, INT
+from repro.types.signatures import standard_signature
+
+
+class TestForcePreserveConstant:
+    def test_regular_adds_pair(self):
+        h = Mapping({(1, 2)}, INT, INT)
+        out = force_preserve_constant(h, ConstantSpec(7, INT))
+        assert preserves_constant(out, 7)
+        assert out.holds(1, 2)
+
+    def test_strict_removes_associations(self):
+        h = Mapping({(7, 8), (3, 7), (1, 2)}, INT, INT)
+        out = force_preserve_constant(h, ConstantSpec(7, INT, strict=True))
+        assert strictly_preserves_constant(out, 7)
+        assert not out.holds(7, 8)
+        assert not out.holds(3, 7)
+        assert out.holds(1, 2)
+
+
+class TestConstrainToPredicate:
+    def test_filters_disagreeing_pairs(self):
+        sig = standard_signature()
+        h = Mapping({(0, 2), (0, 3), (1, 3)}, INT, INT)
+        out = constrain_to_unary_predicate(h, sig["even"])
+        assert out.holds(0, 2)
+        assert not out.holds(0, 3)
+        assert out.holds(1, 3)
+
+    def test_binary_rejected(self):
+        sig = standard_signature()
+        h = Mapping({(0, 2)}, INT, INT)
+        with pytest.raises(ValueError):
+            constrain_to_unary_predicate(h, sig["lt"])
+
+
+class TestGenerateFamily:
+    def test_class_membership(self):
+        rng = random.Random(0)
+        for spec in STANDARD_LATTICE:
+            fam = spec.generate_family(rng)
+            if spec.mapping_class == "functional":
+                assert fam.is_functional()
+            if spec.mapping_class == "injective":
+                assert fam.is_injective()
+            if spec.mapping_class == "bijective":
+                assert fam.is_bijective()
+            if spec.mapping_class == "total_surjective":
+                assert fam.is_total() and fam.is_surjective()
+
+    def test_constants_preserved(self):
+        rng = random.Random(0)
+        spec = GenericitySpec(
+            "c", "functional",
+            constants=(ConstantSpec(7, INT, strict=True),),
+        )
+        for _ in range(20):
+            fam = spec.generate_family(rng)
+            assert strictly_preserves_constant(fam["int"], 7)
+
+    def test_constant_in_both_domains(self):
+        rng = random.Random(1)
+        spec = GenericitySpec(
+            "c", "functional", constants=(ConstantSpec(7, INT),)
+        )
+        fam = spec.generate_family(rng)
+        assert 7 in fam["int"].source_domain
+        assert 7 in fam["int"].target_domain
+
+    def test_unary_predicate_constraint(self):
+        sig = standard_signature()
+        sig.add_symbol("eq7", (INT,), BOOL, lambda x: x == 7)
+        rng = random.Random(0)
+        spec = GenericitySpec("p", "all", predicates=("eq7",))
+        for _ in range(10):
+            fam = spec.generate_family(rng, signature=sig)
+            for x, y in fam["int"].pairs():
+                assert (x == 7) == (y == 7)
+
+    def test_predicate_needs_signature(self):
+        spec = GenericitySpec("p", "all", predicates=("even",))
+        with pytest.raises(ValueError):
+            spec.generate_family(random.Random(0))
+
+    def test_same_domain(self):
+        rng = random.Random(0)
+        spec = GenericitySpec("s", "functional", same_domain=True)
+        fam = spec.generate_family(rng)
+        assert fam["int"].source_domain == fam["int"].target_domain
+
+    def test_str_representation(self):
+        spec = GenericitySpec(
+            "x", "injective",
+            constants=(ConstantSpec(7, INT, strict=True),),
+            predicates=("even",),
+        )
+        text = str(spec)
+        assert "injective" in text
+        assert "strict preserve 7" in text
+        assert "preserve even" in text
+
+
+class TestLatticeOrder:
+    def test_bijective_below_everything(self):
+        bijective = STANDARD_LATTICE[-1]
+        for spec in STANDARD_LATTICE:
+            assert spec_leq(bijective, spec)
+
+    def test_all_above_everything(self):
+        top = STANDARD_LATTICE[0]
+        for spec in STANDARD_LATTICE:
+            assert spec_leq(spec, top)
+
+    def test_incomparable_classes(self):
+        ts = GenericitySpec("t", "total_surjective")
+        inj = GenericitySpec("i", "injective")
+        assert not spec_leq(ts, inj)
+        assert not spec_leq(inj, ts)
+
+    def test_lattice_order_matches_paper_path(self):
+        # "from all mappings, to functional mappings, then to one-to-one"
+        all_ = GenericitySpec("a", "all")
+        fun = GenericitySpec("f", "functional")
+        inj = GenericitySpec("i", "injective")
+        assert spec_leq(fun, all_)
+        assert spec_leq(inj, fun)
+        assert spec_leq(inj, all_)

@@ -1,0 +1,73 @@
+"""Tests for counterexample search."""
+
+import pytest
+
+from repro.algebra.operators import (
+    projection,
+    select_const,
+    select_eq,
+    self_cross,
+)
+from repro.genericity.hierarchy import GenericitySpec
+from repro.genericity.invariance import instantiate_at
+from repro.genericity.witnesses import find_counterexample, verify_witness
+from repro.mappings.extensions import REL, STRONG
+from repro.types.ast import INT
+
+
+ALL = GenericitySpec("all", "all")
+INJECTIVE = GenericitySpec("injective", "injective")
+
+
+class TestSearch:
+    def test_finds_violation_for_selection(self):
+        result = find_counterexample(select_eq(0, 1, 2), ALL, REL, trials=100)
+        assert result.found
+        assert result.trials <= 100
+
+    def test_no_violation_for_projection(self):
+        result = find_counterexample(projection((0,), 2), ALL, REL, trials=40)
+        assert not result.found
+        assert result.pairs_checked > 0
+
+    def test_injective_class_protects_selection(self):
+        result = find_counterexample(
+            select_eq(0, 1, 2), INJECTIVE, REL, trials=60
+        )
+        assert not result.found
+
+    def test_strong_mode_search(self):
+        result = find_counterexample(select_eq(0, 1, 2), ALL, STRONG, trials=150)
+        assert result.found
+
+    def test_fixed_inputs_used(self):
+        from repro.types.values import cvset, tup
+
+        result = find_counterexample(
+            select_eq(0, 1, 2), ALL, REL, trials=100,
+            fixed_inputs=[cvset(tup(0, 0))],
+        )
+        assert result.found
+
+    def test_repr(self):
+        result = find_counterexample(projection((0,), 2), ALL, REL, trials=5)
+        assert "pi[1]" in repr(result)
+
+
+class TestVerifyWitness:
+    def test_found_witnesses_verify(self):
+        q = select_eq(0, 1, 2)
+        result = find_counterexample(q, ALL, REL, trials=100)
+        assert result.found
+        in_type = instantiate_at(q.input_type, INT)
+        out_type = instantiate_at(q.output_type, INT)
+        assert verify_witness(q, result.witness, in_type, out_type)
+
+    def test_bogus_witness_rejected(self):
+        # A witness claiming a violation for an invariant query on
+        # unrelated inputs must fail verification.
+        q = projection((0,), 2)
+        real = find_counterexample(select_eq(0, 1, 2), ALL, REL, trials=100)
+        in_type = instantiate_at(q.input_type, INT)
+        out_type = instantiate_at(q.output_type, INT)
+        assert not verify_witness(q, real.witness, in_type, out_type)

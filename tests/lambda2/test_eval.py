@@ -1,0 +1,93 @@
+"""Tests for the System F evaluator."""
+
+import pytest
+
+from repro.lambda2.eval import EvalError, evaluate
+from repro.lambda2.syntax import (
+    App,
+    Const,
+    Lam,
+    Lit,
+    MkTuple,
+    Proj,
+    Var,
+    app,
+    lam,
+    tapp,
+    tlam,
+)
+from repro.mappings.function_maps import PolyValue
+from repro.types.ast import INT, tvar
+from repro.types.values import Tup
+
+
+X = tvar("X")
+
+
+class TestCore:
+    def test_literal(self):
+        assert evaluate(Lit(3, INT)) == 3
+
+    def test_identity_application(self):
+        term = App(lam("x", INT, Var("x")), Lit(42, INT))
+        assert evaluate(term) == 42
+
+    def test_closure_captures(self):
+        # (\x. \y. x) 1 2 == 1
+        term = app(lam("x", INT, lam("y", INT, Var("x"))),
+                   Lit(1, INT), Lit(2, INT))
+        assert evaluate(term) == 1
+
+    def test_unbound_variable(self):
+        with pytest.raises(EvalError):
+            evaluate(Var("ghost"))
+
+    def test_environment_binding(self):
+        assert evaluate(Var("x"), env={"x": 9}) == 9
+
+    def test_applying_non_function(self):
+        with pytest.raises(EvalError):
+            evaluate(App(Lit(1, INT), Lit(2, INT)))
+
+
+class TestPolymorphism:
+    def test_tlam_yields_polyvalue(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        value = evaluate(identity)
+        assert isinstance(value, PolyValue)
+        assert value[INT](7) == 7
+
+    def test_tapp_instantiates(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        component = evaluate(tapp(identity, INT))
+        assert component("a") == "a"
+
+    def test_erased_constant_passes_through_tapp(self):
+        term = tapp(Const("k"), INT)
+        assert evaluate(term, constants={"k": 5}) == 5
+
+    def test_applying_polyvalue_directly_rejected(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        with pytest.raises(EvalError):
+            evaluate(App(identity, Lit(1, INT)))
+
+
+class TestTuples:
+    def test_mk_and_project(self):
+        pair = MkTuple((Lit(1, INT), Lit(2, INT)))
+        assert evaluate(pair) == Tup((1, 2))
+        assert evaluate(Proj(pair, 1)) == 2
+
+    def test_projecting_non_tuple(self):
+        with pytest.raises(EvalError):
+            evaluate(Proj(Lit(1, INT), 0))
+
+
+class TestConstants:
+    def test_native_callable(self):
+        term = App(Const("succ"), Lit(3, INT))
+        assert evaluate(term, constants={"succ": lambda n: n + 1}) == 4
+
+    def test_unknown_constant(self):
+        with pytest.raises(EvalError):
+            evaluate(Const("mystery"))

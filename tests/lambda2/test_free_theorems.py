@@ -1,0 +1,90 @@
+"""Tests for the free-theorem generator."""
+
+import pytest
+
+from repro.lambda2.free_theorems import (
+    check_functional_instance,
+    derive,
+    relational_statement,
+)
+from repro.lambda2.prelude import build_prelude
+from repro.types.ast import INT
+from repro.types.parser import parse_type
+from repro.types.values import Tup, cvlist, cvset
+
+
+@pytest.fixture(scope="module")
+def prelude():
+    return build_prelude()
+
+
+class TestStatements:
+    def test_append_statement_mentions_list_relation(self, prelude):
+        theorem = derive("append", prelude.type_of("append"))
+        assert "<X>" in theorem.statement
+        assert "for all mappings X" in theorem.statement
+
+    def test_eq_quantifier_noted(self, prelude):
+        theorem = derive("difference", prelude.type_of("difference"))
+        assert "injective mappings" in theorem.statement
+
+    def test_count_law_uses_identity_output(self, prelude):
+        theorem = derive("count", prelude.type_of("count"))
+        assert "Id_int" in theorem.statement
+        assert "id(count(x))" in theorem.functional_law.replace(" ", "") or \
+            "id" in theorem.functional_law
+
+    def test_set_types_render_rel_extension(self):
+        theorem = derive("union", parse_type("forall X. {X} * {X} -> {X}"))
+        assert "{X}^rel" in theorem.statement
+
+    def test_str_roundtrip(self, prelude):
+        theorem = derive("append", prelude.type_of("append"))
+        text = str(theorem)
+        assert "Free theorem for append" in text
+        assert "Functional specialization" in text
+
+
+class TestFunctionalInstances:
+    def test_append_law_holds(self, prelude):
+        theorem = derive("append", prelude.type_of("append"))
+        violation = check_functional_instance(
+            theorem,
+            prelude.value("append")[INT],
+            {"X": lambda v: v + 7},
+            [Tup((cvlist(1, 2), cvlist(3))), Tup((cvlist(), cvlist()))],
+        )
+        assert violation is None
+
+    def test_count_law_holds(self, prelude):
+        theorem = derive("count", prelude.type_of("count"))
+        violation = check_functional_instance(
+            theorem,
+            prelude.value("count")[INT],
+            {"X": lambda v: v * 2},
+            [cvlist(1, 2, 3), cvlist()],
+        )
+        assert violation is None
+
+    def test_broken_function_caught(self, prelude):
+        theorem = derive("count", prelude.type_of("count"))
+        # A fake "count" that inspects elements breaks the law.
+        fake = lambda l: sum(l)
+        violation = check_functional_instance(
+            theorem, fake, {"X": lambda v: v + 1}, [cvlist(1, 2)]
+        )
+        assert violation is not None
+        x, lhs, rhs = violation
+        assert lhs != rhs
+
+    def test_union_law_through_sets(self):
+        theorem = derive("union", parse_type("forall X. {X} * {X} -> {X}"))
+        from repro.listset.setfuncs import set_union
+
+        violation = check_functional_instance(
+            theorem,
+            set_union,
+            {"X": lambda v: v % 2},
+            [Tup((cvset(1, 2), cvset(3)))],
+        )
+        assert violation is None

@@ -1,0 +1,103 @@
+"""Tests for syntactic normalization."""
+
+import pytest
+
+from repro.lambda2.normalize import (
+    NormalizationError,
+    free_vars,
+    normalize,
+    substitute,
+)
+from repro.lambda2.parser import parse_term
+from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TLam, Var, lam, tapp, tlam
+from repro.types.ast import BOOL, INT, func, tvar
+
+
+class TestFreeVars:
+    def test_var_free(self):
+        assert free_vars(Var("x")) == {"x"}
+
+    def test_lambda_binds(self):
+        term = parse_term(r"\x:int. x y")
+        assert free_vars(term) == {"y"}
+
+    def test_literals_closed(self):
+        assert free_vars(Lit(3, INT)) == frozenset()
+
+    def test_through_tuples_and_projections(self):
+        term = parse_term("(x, y)#0")
+        assert free_vars(term) == {"x", "y"}
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(Var("x"), "x", Lit(1, INT)) == Lit(1, INT)
+        assert substitute(Var("y"), "x", Lit(1, INT)) == Var("y")
+
+    def test_shadowing(self):
+        term = parse_term(r"\x:int. x")
+        assert substitute(term, "x", Lit(1, INT)) == term
+
+    def test_capture_avoided(self):
+        # (\y:int. x)[y / x] must NOT capture: the binder is renamed.
+        term = parse_term(r"\y:int. x")
+        out = substitute(term, "x", Var("y"))
+        assert isinstance(out, Lam)
+        assert out.var != "y"
+        assert out.body == Var("y")
+
+
+class TestNormalization:
+    def test_beta(self):
+        term = parse_term(r"(\x:int. x) 5")
+        assert normalize(term) == Lit(5, INT)
+
+    def test_type_beta(self):
+        term = tapp(tlam("X", lam("x", tvar("X"), Var("x"))), INT)
+        assert normalize(term) == lam("x", INT, Var("x"))
+
+    def test_projection_redex(self):
+        term = parse_term("(1, 2)#1")
+        assert normalize(term) == Lit(2, INT)
+
+    def test_normal_order_discards_unused_argument(self):
+        # K combinator applied to a diverging-looking argument — normal
+        # order never evaluates it.
+        k = parse_term(r"(\x:int. \y:int. x) 1")
+        out = normalize(App(k, Var("whatever")))
+        assert out == Lit(1, INT)
+
+    def test_reduction_under_binders(self):
+        term = parse_term(r"\z:int. (\x:int. x) z")
+        assert normalize(term) == parse_term(r"\z:int. z")
+
+    def test_nested_redexes(self):
+        term = parse_term(r"((\f:int -> int. f) (\x:int. x)) 9")
+        assert normalize(term) == Lit(9, INT)
+
+    def test_church_append_normalizes_to_fold_shape(self):
+        # c_append l1 l2 unfolds so that l1's eliminator is at the head.
+        from repro.lambda2.church import church_append, church_list_type
+
+        term = tapp(church_append(), INT)
+        out = normalize(term)
+        # Normal form is a lambda awaiting the two lists.
+        assert isinstance(out, Lam)
+
+    def test_fuel_guard(self):
+        # Untyped self-application loops; the fuel bound catches it.
+        omega_half = Lam("x", INT, App(Var("x"), Var("x")))
+        omega = App(omega_half, omega_half)
+        with pytest.raises(NormalizationError):
+            normalize(omega, fuel=50)
+
+    def test_agrees_with_evaluator_on_closed_terms(self):
+        from repro.lambda2.eval import evaluate
+
+        for text in [
+            r"(\x:int. x) 3",
+            r"(1, (\x:int. x) 2)#1",
+            r"(\p:int * int. p#0) (7, 8)",
+        ]:
+            term = parse_term(text)
+            assert normalize(term) == Lit(evaluate(term), INT)

@@ -1,0 +1,140 @@
+"""Tests for the System F term parser."""
+
+import pytest
+
+from repro.lambda2.eval import evaluate
+from repro.lambda2.parser import TermParseError, parse_term
+from repro.lambda2.prelude import build_prelude
+from repro.lambda2.syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, TLam, Var
+from repro.lambda2.typecheck import check_term, synthesize
+from repro.types.ast import BOOL, INT, forall, func, tvar
+from repro.types.parser import parse_type
+from repro.types.values import Tup, cvlist
+
+
+@pytest.fixture(scope="module")
+def prelude():
+    return build_prelude()
+
+
+class TestBasicForms:
+    def test_variable(self):
+        assert parse_term("x") == Var("x")
+
+    def test_literals(self):
+        assert parse_term("42") == Lit(42, INT)
+        assert parse_term("true") == Lit(True, BOOL)
+        assert parse_term("false") == Lit(False, BOOL)
+
+    def test_lambda(self):
+        term = parse_term(r"\x:int. x")
+        assert term == Lam("x", INT, Var("x"))
+
+    def test_type_abstraction(self):
+        term = parse_term(r"/\X. \x:X. x")
+        assert term == TLam("X", Lam("x", tvar("X"), Var("x")))
+
+    def test_eq_type_abstraction(self):
+        term = parse_term(r"/\X=. \x:X=. x")
+        assert isinstance(term, TLam)
+        assert term.requires_eq
+
+    def test_application_left_assoc(self):
+        term = parse_term("f a b")
+        assert term == App(App(Var("f"), Var("a")), Var("b"))
+
+    def test_type_application(self):
+        term = parse_term("f[int]")
+        assert term == TApp(Var("f"), INT)
+
+    def test_type_application_binds_tighter_than_application(self):
+        # Standard System F precedence: `f nil[X]` is `f (nil[X])`.
+        term = parse_term("f x[bool]")
+        assert term == App(Var("f"), TApp(Var("x"), BOOL))
+
+    def test_mixed_applications(self):
+        term = parse_term("(f[int] x)[bool]")
+        assert term == TApp(App(TApp(Var("f"), INT), Var("x")), BOOL)
+
+    def test_tuples_and_projection(self):
+        term = parse_term("(1, 2)#0")
+        assert term == Proj(MkTuple((Lit(1, INT), Lit(2, INT))), 0)
+
+    def test_grouping(self):
+        term = parse_term(r"(\x:int. x) 3")
+        assert evaluate(term) == 3
+
+
+class TestBinderTypes:
+    def test_complex_unparenthesized_type(self):
+        term = parse_term(r"\p:<int> * <int>. p#0")
+        assert synthesize(term) == func(
+            parse_type("<int> * <int>"), parse_type("<int>")
+        )
+
+    def test_parenthesized_forall_type(self):
+        term = parse_term(
+            r"\l:(forall R. (int -> R -> R) -> R -> R). l"
+        )
+        t = synthesize(term)
+        assert "forall R" in str(t)
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(TermParseError):
+            parse_term(r"\x:int x")
+
+    def test_empty_type_rejected(self):
+        with pytest.raises(TermParseError):
+            parse_term(r"\x:. x")
+
+
+class TestConstantResolution:
+    def test_free_names_become_constants(self, prelude):
+        term = parse_term("succ 1", set(prelude.entries))
+        assert term == App(Const("succ"), Lit(1, INT))
+
+    def test_bound_names_stay_variables(self, prelude):
+        term = parse_term(r"\succ:int. succ", set(prelude.entries))
+        assert term == Lam("succ", INT, Var("succ"))
+
+    def test_without_table_everything_is_var(self):
+        assert parse_term("succ") == Var("succ")
+
+
+class TestEndToEnd:
+    def test_parsed_append_matches_prelude(self, prelude):
+        text = (
+            r"/\X. \p:<X> * <X>. "
+            r"foldr[X][<X>] (\h:X. \t:<X>. cons[X] h t) (p#1) (p#0)"
+        )
+        term = parse_term(text, set(prelude.entries))
+        check_term(term, parse_type("forall X. <X> * <X> -> <X>"),
+                   prelude.context())
+        value = evaluate(term, constants=prelude.constant_values())
+        native = prelude.value("append")[INT]
+        pair = Tup((cvlist(1, 2), cvlist(3)))
+        assert value[INT](pair) == native(pair)
+
+    def test_parsed_term_parametric(self, prelude):
+        from repro.lambda2.parametricity import check_parametricity
+
+        term = parse_term(r"/\X. \x:X. x")
+        value = evaluate(term)
+        report = check_parametricity(
+            value, parse_type("forall X. X -> X"), "parsed-id"
+        )
+        assert report.parametric
+
+
+class TestErrors:
+    def test_bad_character(self):
+        with pytest.raises(TermParseError):
+            parse_term("x @ y")
+
+    def test_unterminated_type_application(self):
+        with pytest.raises(TermParseError):
+            parse_term("f[int")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TermParseError):
+            parse_term("x )")

@@ -1,0 +1,120 @@
+"""Tests for the checked polymorphic prelude."""
+
+import pytest
+
+from repro.lambda2.prelude import build_prelude
+from repro.types.ast import INT, STR
+from repro.types.parser import parse_type
+from repro.types.values import CVList, Tup, cvlist
+
+
+@pytest.fixture(scope="module")
+def prelude():
+    return build_prelude()
+
+
+class TestBuild:
+    def test_expected_entries(self, prelude):
+        for name in (
+            "nil", "cons", "foldr", "if", "succ", "plus", "eq", "zip",
+            "head", "difference", "id", "append", "map", "count",
+            "reverse", "filter", "ins", "ext",
+        ):
+            assert name in prelude.entries, name
+
+    def test_derived_entries_carry_terms(self, prelude):
+        assert not prelude["append"].native
+        assert prelude["nil"].native
+
+    def test_declared_types_parse_back(self, prelude):
+        assert prelude.type_of("append") == parse_type(
+            "forall X. <X> * <X> -> <X>"
+        )
+        assert prelude.type_of("count") == parse_type("forall X. <X> -> int")
+
+
+class TestSemantics:
+    def test_id(self, prelude):
+        assert prelude.value("id")[INT](5) == 5
+
+    def test_append(self, prelude):
+        f = prelude.value("append")[INT]
+        assert f(Tup((cvlist(1, 2), cvlist(3)))) == cvlist(1, 2, 3)
+        assert f(Tup((cvlist(), cvlist()))) == cvlist()
+
+    def test_append_preserves_duplicates_and_order(self, prelude):
+        f = prelude.value("append")[STR]
+        assert f(Tup((cvlist("b", "a"), cvlist("a")))) == cvlist("b", "a", "a")
+
+    def test_map(self, prelude):
+        f = prelude.value("map")[INT][INT]
+        assert f(lambda x: x * 2)(cvlist(1, 2)) == cvlist(2, 4)
+
+    def test_count(self, prelude):
+        f = prelude.value("count")[INT]
+        assert f(cvlist()) == 0
+        assert f(cvlist(9, 9, 9)) == 3
+
+    def test_reverse(self, prelude):
+        f = prelude.value("reverse")[INT]
+        assert f(cvlist(1, 2, 3)) == cvlist(3, 2, 1)
+        assert f(cvlist()) == cvlist()
+
+    def test_filter(self, prelude):
+        f = prelude.value("filter")[INT]
+        assert f(lambda x: x % 2 == 0)(cvlist(1, 2, 3, 4)) == cvlist(2, 4)
+
+    def test_zip(self, prelude):
+        f = prelude.value("zip")
+        out = f(Tup((cvlist(1, 2), cvlist("a", "b"))))
+        assert out == cvlist(Tup((1, "a")), Tup((2, "b")))
+
+    def test_head(self, prelude):
+        assert prelude.value("head")(cvlist(7, 8)) == 7
+        with pytest.raises(Exception):
+            prelude.value("head")(cvlist())
+
+    def test_difference(self, prelude):
+        f = prelude.value("difference")
+        assert f(Tup((cvlist(1, 2, 1, 3), cvlist(1)))) == cvlist(2, 3)
+
+    def test_ins(self, prelude):
+        f = prelude.value("ins")[INT]
+        assert f(0)(cvlist(1, 2)) == cvlist(0, 1, 2)
+
+    def test_foldr_right_fold(self, prelude):
+        foldr = prelude.value("foldr")
+        # foldr cons nil == id; foldr (-) 0 [1,2,3] = 1-(2-(3-0)) = 2
+        sub = lambda x: lambda acc: x - acc
+        assert foldr(sub)(0)(cvlist(1, 2, 3)) == 2
+
+    def test_if(self, prelude):
+        f = prelude.value("if")
+        assert f(True)(1)(2) == 1
+        assert f(False)(1)(2) == 2
+
+    def test_ext_concatmap(self, prelude):
+        f = prelude.value("ext")[INT][INT]
+        assert f(lambda x: cvlist(x, x + 10))(cvlist(1, 2)) == cvlist(
+            1, 11, 2, 12
+        )
+        assert f(lambda x: cvlist())(cvlist(1, 2)) == cvlist()
+
+    def test_ext_type_is_not_ltos(self, prelude):
+        from repro.listset.typeclasses import is_ltos
+
+        # Example 4.14: ext's type is outside the transferable class.
+        assert not is_ltos(prelude.type_of("ext"))
+
+
+class TestTypeSafety:
+    def test_derived_terms_typecheck_on_build(self):
+        # build_prelude would raise if any derived term failed its
+        # declared type; building twice exercises determinism.
+        a = build_prelude()
+        b = build_prelude()
+        assert a.names() == b.names()
+
+    def test_context_exposes_types(self, prelude):
+        ctx = prelude.context()
+        assert "append" in ctx.constants

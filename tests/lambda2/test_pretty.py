@@ -1,0 +1,53 @@
+"""Tests for the System F pretty printer."""
+
+from repro.lambda2.parser import parse_term
+from repro.lambda2.pretty import pretty
+from repro.lambda2.prelude import build_prelude
+from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TApp, TLam, Var
+from repro.types.ast import BOOL, INT, forall, func, tvar
+from repro.types.parser import parse_type
+
+
+class TestRendering:
+    def test_literals(self):
+        assert pretty(Lit(True, BOOL)) == "true"
+        assert pretty(Lit(False, BOOL)) == "false"
+        assert pretty(Lit(3, INT)) == "3"
+
+    def test_application_spacing(self):
+        assert pretty(App(Var("f"), Var("x"))) == "f x"
+
+    def test_nested_application_parens(self):
+        term = App(Var("f"), App(Var("g"), Var("x")))
+        assert pretty(term) == "f (g x)"
+
+    def test_lambda(self):
+        assert pretty(Lam("x", INT, Var("x"))) == r"\x:int. x"
+
+    def test_type_abstraction_with_eq(self):
+        term = TLam("X", Var("x"), requires_eq=True)
+        assert pretty(term) == r"/\X=. x"
+
+    def test_binder_type_with_forall_parenthesized(self):
+        t = forall("R", func(tvar("R"), tvar("R")))
+        term = Lam("l", t, Var("l"))
+        assert pretty(term) == r"\l:(forall R. R -> R). l"
+
+    def test_tuple_and_projection(self):
+        term = Proj(MkTuple((Var("a"), Var("b"))), 1)
+        assert pretty(term) == "(a, b)#1"
+
+    def test_lambda_in_argument_position_parenthesized(self):
+        term = App(Var("f"), Lam("x", INT, Var("x")))
+        assert pretty(term) == r"f (\x:int. x)"
+
+
+class TestRoundtripOnPrelude:
+    def test_all_derived_terms_roundtrip(self):
+        prelude = build_prelude()
+        for name, entry in prelude.entries.items():
+            if entry.term is None:
+                continue
+            text = pretty(entry.term)
+            reparsed = parse_term(text, set(prelude.entries) - {name})
+            assert reparsed == entry.term, name

@@ -1,0 +1,133 @@
+"""Tests for the System F type checker."""
+
+import pytest
+
+from repro.lambda2.syntax import (
+    App,
+    Const,
+    Lam,
+    Lit,
+    MkTuple,
+    Proj,
+    Var,
+    app,
+    lam,
+    tapp,
+    tlam,
+)
+from repro.lambda2.typecheck import Context, TypeCheckError, check_term, synthesize
+from repro.types.ast import (
+    BOOL,
+    INT,
+    ForAll,
+    FuncType,
+    Product,
+    forall,
+    func,
+    list_of,
+    tvar,
+)
+from repro.types.parser import parse_type
+
+
+X = tvar("X")
+
+
+class TestCore:
+    def test_literal(self):
+        assert synthesize(Lit(3, INT)) == INT
+
+    def test_unbound_variable(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(Var("x"))
+
+    def test_lambda(self):
+        t = synthesize(lam("x", INT, Var("x")))
+        assert t == FuncType(INT, INT)
+
+    def test_application(self):
+        t = synthesize(App(lam("x", INT, Var("x")), Lit(3, INT)))
+        assert t == INT
+
+    def test_application_type_mismatch(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(App(lam("x", INT, Var("x")), Lit(True, BOOL)))
+
+    def test_applying_non_function(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(App(Lit(3, INT), Lit(4, INT)))
+
+
+class TestPolymorphism:
+    def test_identity_type(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        assert synthesize(identity) == forall("X", func(X, X))
+
+    def test_type_application(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        assert synthesize(tapp(identity, INT)) == func(INT, INT)
+
+    def test_type_application_of_monotype_rejected(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(tapp(Lit(3, INT), INT))
+
+    def test_unbound_type_variable_rejected(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(lam("x", tvar("Y"), Var("x")))
+
+    def test_eq_quantifier_accepts_eq_types(self):
+        ctx = Context(constants={"eq": parse_type("forall X=. X= -> X= -> bool")})
+        term = tapp(Const("eq"), INT)
+        assert synthesize(term, ctx) == func(INT, INT, BOOL)
+
+    def test_eq_quantifier_rejects_function_types(self):
+        ctx = Context(constants={"eq": parse_type("forall X=. X= -> X= -> bool")})
+        term = tapp(Const("eq"), func(INT, INT))
+        with pytest.raises(TypeCheckError):
+            synthesize(term, ctx)
+
+    def test_eq_quantifier_accepts_lists_of_eq_types(self):
+        ctx = Context(constants={"eq": parse_type("forall X=. X= -> X= -> bool")})
+        term = tapp(Const("eq"), list_of(INT))
+        synthesize(term, ctx)  # should not raise
+
+
+class TestTuples:
+    def test_mk_tuple(self):
+        t = synthesize(MkTuple((Lit(1, INT), Lit(True, BOOL))))
+        assert t == Product((INT, BOOL))
+
+    def test_projection(self):
+        pair = MkTuple((Lit(1, INT), Lit(True, BOOL)))
+        assert synthesize(Proj(pair, 0)) == INT
+        assert synthesize(Proj(pair, 1)) == BOOL
+
+    def test_projection_bounds(self):
+        pair = MkTuple((Lit(1, INT),))
+        with pytest.raises(TypeCheckError):
+            synthesize(Proj(pair, 3))
+
+    def test_projection_of_non_product(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(Proj(Lit(1, INT), 0))
+
+
+class TestConstants:
+    def test_known_constant(self):
+        ctx = Context(constants={"succ": func(INT, INT)})
+        assert synthesize(Const("succ"), ctx) == func(INT, INT)
+
+    def test_unknown_constant(self):
+        with pytest.raises(TypeCheckError):
+            synthesize(Const("nope"))
+
+
+class TestCheckTerm:
+    def test_alpha_equivalence_accepted(self):
+        identity = tlam("Z", lam("x", tvar("Z"), Var("x")))
+        check_term(identity, parse_type("forall X. X -> X"))
+
+    def test_wrong_type_rejected(self):
+        identity = tlam("X", lam("x", X, Var("x")))
+        with pytest.raises(TypeCheckError):
+            check_term(identity, parse_type("forall X. X -> int"))

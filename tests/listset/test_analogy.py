@@ -1,0 +1,127 @@
+"""Tests for toset and the analogy relation (Definition 4.7)."""
+
+import pytest
+
+from repro.listset.analogy import (
+    AnalogyError,
+    analogous,
+    deep_fromset,
+    deep_toset,
+    induced_set_function,
+    toset,
+)
+from repro.listset.setfuncs import cardinality, set_union
+from repro.types.ast import INT, FuncType, Product, list_of, set_of, tvar
+from repro.types.parser import parse_type
+from repro.types.values import CVList, CVSet, Tup, cvlist, cvset, tup
+
+
+class TestToset:
+    def test_forgets_order_and_multiplicity(self):
+        assert toset(cvlist(1, 2, 2, 1)) == cvset(1, 2)
+
+    def test_empty(self):
+        assert toset(cvlist()) == cvset()
+
+
+class TestDeepToset:
+    def test_flat(self):
+        assert deep_toset(cvlist(1, 1, 2), list_of(INT)) == cvset(1, 2)
+
+    def test_nested(self):
+        v = cvlist(cvlist(1, 1), cvlist(2))
+        t = list_of(list_of(INT))
+        assert deep_toset(v, t) == cvset(cvset(1), cvset(2))
+
+    def test_inner_collapse_merges_outer(self):
+        # <⟨1,1⟩, ⟨1⟩> -> {{1}} : both inner lists become {1}.
+        v = cvlist(cvlist(1, 1), cvlist(1))
+        t = list_of(list_of(INT))
+        assert deep_toset(v, t) == cvset(cvset(1))
+
+    def test_through_products(self):
+        v = tup(1, cvlist(2, 2))
+        t = Product((INT, list_of(INT)))
+        assert deep_toset(v, t) == tup(1, cvset(2))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalogyError):
+            deep_toset(cvset(1), list_of(INT))
+
+
+class TestDeepFromset:
+    def test_section_of_toset(self):
+        s = cvset(cvset(1), cvset(1, 2))
+        t = list_of(list_of(INT))
+        l = deep_fromset(s, t)
+        assert deep_toset(l, t) == s
+
+    def test_deterministic(self):
+        s = cvset(3, 1, 2)
+        assert deep_fromset(s, list_of(INT)) == deep_fromset(s, list_of(INT))
+
+
+class TestAnalogous:
+    def test_base_values(self):
+        assert analogous(1, 1, INT)
+        assert not analogous(1, 2, INT)
+
+    def test_complex_values(self):
+        assert analogous(cvlist(1, 1, 2), cvset(1, 2), list_of(INT))
+        assert not analogous(cvlist(1), cvset(1, 2), list_of(INT))
+
+    def test_products_componentwise(self):
+        t = Product((list_of(INT), INT))
+        assert analogous(tup(cvlist(1, 1), 5), tup(cvset(1), 5), t)
+
+    def test_append_union_analogy(self):
+        t = FuncType(
+            Product((list_of(INT), list_of(INT))), list_of(INT)
+        )
+        append = lambda p: p[0].append(p[1])
+        samples = [
+            Tup((cvlist(1, 2), cvlist(2, 3))),
+            Tup((cvlist(), cvlist(0, 0))),
+        ]
+        assert analogous(append, set_union, t, samples)
+
+    def test_count_card_not_analogous(self):
+        t = FuncType(list_of(INT), INT)
+        count = lambda l: len(l)
+        samples = [cvlist(1, 1), cvlist(2)]
+        assert not analogous(count, cardinality, t, samples)
+
+    def test_function_analogy_needs_samples(self):
+        t = FuncType(list_of(INT), INT)
+        with pytest.raises(AnalogyError):
+            analogous(lambda l: len(l), cardinality, t)
+
+    def test_partial_function_fails_gracefully(self):
+        t = FuncType(list_of(INT), INT)
+        head = lambda l: l[0]
+        # head crashes on the empty list sample; treated as non-analogous.
+        assert not analogous(head, lambda s: 0, t, [cvlist()])
+
+
+class TestInducedSetFunction:
+    def test_induces_union_from_append(self):
+        t = FuncType(
+            Product((list_of(INT), list_of(INT))), list_of(INT)
+        )
+        append = lambda p: p[0].append(p[1])
+        f_set = induced_set_function(append, t)
+        out = f_set(Tup((cvset(1, 2), cvset(2, 3))))
+        assert out == cvset(1, 2, 3)
+
+    def test_induced_card_disagrees_with_count(self):
+        t = FuncType(list_of(INT), INT)
+        count = lambda l: len(l)
+        f_set = induced_set_function(count, t)
+        # On the set side duplicates are gone; the induced function is
+        # cardinality, which is NOT analogous to count.
+        assert f_set(cvset(1)) == 1
+        assert count(cvlist(1, 1)) == 2
+
+    def test_needs_function_type(self):
+        with pytest.raises(AnalogyError):
+            induced_set_function(lambda x: x, list_of(INT))

@@ -1,0 +1,107 @@
+"""Tests for s-to-l / l-to-s / LtoS type classifiers (Defs 4.8-4.12)."""
+
+import pytest
+
+from repro.listset.typeclasses import (
+    classify_type,
+    is_l_to_s,
+    is_ltos,
+    is_s_to_l,
+    to_list_type,
+    to_set_type,
+)
+from repro.types.ast import (
+    INT,
+    ForAll,
+    ListType,
+    Product,
+    SetType,
+    forall,
+    func,
+    list_of,
+    set_of,
+    tvar,
+)
+from repro.types.parser import parse_type
+
+
+X = tvar("X")
+
+
+class TestStoL:
+    def test_flat_list_type_is_s_to_l(self):
+        # Lists NOT under an arrow are fine.
+        assert is_s_to_l(list_of(X))
+        assert is_s_to_l(Product((list_of(X), INT)))
+
+    def test_function_without_lists_is_s_to_l(self):
+        assert is_s_to_l(parse_type("X -> bool"))
+        assert is_s_to_l(parse_type("X -> Y -> Y"))
+
+    def test_list_under_arrow_not_s_to_l(self):
+        assert not is_s_to_l(parse_type("<X> -> bool"))
+        assert not is_s_to_l(parse_type("X -> <Y>"))
+
+    def test_forall_not_s_to_l(self):
+        assert not is_s_to_l(parse_type("forall X. X"))
+
+
+class TestLtoS:
+    def test_argument_positions_must_be_s_to_l(self):
+        assert is_l_to_s(parse_type("(X -> bool) -> <X> -> <X>"))
+        assert not is_l_to_s(parse_type("(<X> -> bool) -> <X> -> <X>"))
+
+    def test_result_lists_allowed(self):
+        # <X> as a *top-level spine argument* is s-to-l (no arrow above
+        # it inside itself), so sigma's tail is fine.
+        assert is_l_to_s(parse_type("<X> -> <X>"))
+
+    def test_list_producing_argument_rejected(self):
+        assert not is_l_to_s(parse_type("(X -> <Y>) -> <X> -> <Y>"))
+
+    def test_quantifier_rejected(self):
+        assert not is_l_to_s(parse_type("forall X. <X>"))
+
+
+class TestLtoSTop:
+    def test_paper_examples(self):
+        # Example 4.14 verbatim.
+        assert is_ltos(parse_type("forall X. (X -> bool) -> <X> -> <X>"))
+        assert not is_ltos(parse_type("forall X. (<X> -> bool) -> <X> -> <X>"))
+        assert is_ltos(
+            parse_type("forall X. forall Y. (X -> Y -> Y) -> Y -> <X> -> Y")
+        )
+        assert not is_ltos(
+            parse_type("forall X. forall Y. (X -> <Y>) -> <X> -> <Y>")
+        )
+
+    def test_prelude_types(self):
+        assert is_ltos(parse_type("forall X. <X> * <X> -> <X>"))   # append
+        assert is_ltos(parse_type("forall X. <X> -> int"))          # count
+        assert is_ltos(parse_type("forall X. X -> <X> -> <X>"))     # ins
+
+    def test_classify_summary(self):
+        summary = classify_type(parse_type("forall X. (X -> bool) -> <X> -> <X>"))
+        assert summary["ltos"]
+        assert summary["body_l_to_s"]
+        assert not summary["s_to_l"]  # quantified, so not s-to-l
+
+
+class TestRelatedTypes:
+    def test_to_set_type(self):
+        assert to_set_type(list_of(X)) == set_of(X)
+        assert to_set_type(parse_type("forall X. <X> * <X> -> <X>")) == parse_type(
+            "forall X. {X} * {X} -> {X}"
+        )
+
+    def test_to_list_type(self):
+        assert to_list_type(set_of(X)) == list_of(X)
+        assert to_list_type(set_of(set_of(INT))) == list_of(list_of(INT))
+
+    def test_roundtrip_on_pure_list_types(self):
+        t = parse_type("forall X. (X -> bool) -> <X> -> <X>")
+        assert to_list_type(to_set_type(t)) == t
+
+    def test_nested_translation(self):
+        t = list_of(Product((INT, list_of(X))))
+        assert to_set_type(t) == set_of(Product((INT, set_of(X))))

@@ -1,0 +1,115 @@
+"""Tests for function-type and forall-type mapping constructors (Defs 4.2-4.3)."""
+
+import pytest
+
+from repro.mappings.extensions import ListRel, ProductRel, SetRelExt
+from repro.mappings.function_maps import ForAllRel, FuncRel, PolyValue
+from repro.mappings.mapping import Budget, IdentityRel, Mapping
+from repro.types.ast import BOOL, INT, STR, forall, func, list_of, set_of, tvar
+from repro.types.values import CVList, cvlist, cvset, tup
+
+
+def h() -> Mapping:
+    return Mapping(
+        {(0, 10), (1, 11)},
+        INT,
+        INT,
+        source_domain=(0, 1),
+        target_domain=(10, 11),
+    )
+
+
+class TestFuncRel:
+    def test_related_functions(self):
+        # f adds 0 on the left, g adds 0 on the right: both identity-ish;
+        # related because images track the mapping.
+        rel = FuncRel(h(), h())
+        assert rel.holds(lambda x: x, lambda y: y)
+
+    def test_unrelated_functions(self):
+        rel = FuncRel(h(), h())
+        # g swaps the two targets: breaks relatedness at (0, 10).
+        swap = {10: 11, 11: 10}
+        assert not rel.holds(lambda x: x, lambda y: swap[y])
+
+    def test_invariance_special_case(self):
+        # K = K', f = g states f invariant under K (Def 2.9 bridge).
+        identity_map = Mapping({(0, 0), (1, 1)}, INT, INT)
+        rel = FuncRel(identity_map, identity_map)
+        assert rel.holds(lambda x: x, lambda x: x)
+
+    def test_exception_counts_as_unrelated(self):
+        rel = FuncRel(h(), h())
+
+        def bad(_x):
+            raise RuntimeError("partial")
+
+        assert not rel.holds(bad, bad)
+
+    def test_witness_violation(self):
+        rel = FuncRel(h(), h())
+        swap = {10: 11, 11: 10}
+        witness = rel.witness_violation(lambda x: x, lambda y: swap[y])
+        assert witness is not None
+        x, y = witness
+        assert h().holds(x, y)
+
+    def test_list_to_int_relation(self):
+        # count-style: <H> -> Id(int).
+        rel = FuncRel(ListRel(h()), IdentityRel(INT))
+        assert rel.holds(lambda l: len(l), lambda l: len(l))
+        assert not rel.holds(lambda l: len(l), lambda l: len(l) + 1)
+
+    def test_higher_order_pairs_enumeration(self):
+        # (H -> Id_bool) pairs: all related predicate pairs.
+        rel = FuncRel(h(), IdentityRel(BOOL, carrier=(True, False)))
+        pairs = list(rel.pairs(Budget()))
+        assert pairs  # nonempty
+        for f, g in pairs:
+            assert rel.holds(f, g)
+
+
+class TestPolyValue:
+    def test_instantiation(self):
+        pv = PolyValue(lambda t: t, forall("X", tvar("X")))
+        assert pv[INT] == INT
+
+    def test_repr(self):
+        pv = PolyValue(lambda t: None, forall("X", tvar("X")))
+        assert "PolyValue" in repr(pv)
+
+
+class TestForAllRel:
+    def _candidates(self):
+        return [(INT, INT, h())]
+
+    def test_parametric_identity(self):
+        t = forall("X", func(tvar("X"), tvar("X")))
+        rel = ForAllRel(
+            t,
+            self._candidates(),
+            lambda m: FuncRel(m, m),
+        )
+        identity = PolyValue(lambda _t: (lambda x: x), t)
+        assert rel.holds(identity, identity)
+
+    def test_non_parametric_function_caught(self):
+        t = forall("X", func(tvar("X"), tvar("X")))
+        rel = ForAllRel(t, self._candidates(), lambda m: FuncRel(m, m))
+        # "Increment if int" inspects the element: not uniform.
+        poke = PolyValue(lambda _t: (lambda x: x + 1), t)
+        violation = rel.witness_violation(poke, poke)
+        assert violation is not None
+
+    def test_raw_values_accepted(self):
+        # Native constants are raw callables, not PolyValue.
+        t = forall("X", func(tvar("X"), tvar("X")))
+        rel = ForAllRel(t, self._candidates(), lambda m: FuncRel(m, m))
+        assert rel.holds(lambda x: x, lambda x: x)
+
+    def test_body_relation_without_functions(self):
+        # forall X. <X>: nil must relate to itself.
+        t = forall("X", list_of(tvar("X")))
+        rel = ForAllRel(t, self._candidates(), lambda m: ListRel(m))
+        nil = PolyValue(lambda _t: cvlist(), t)
+        assert rel.holds(nil, nil)

@@ -1,0 +1,172 @@
+"""Tests for base relational mappings (Section 2.2)."""
+
+import pytest
+
+from repro.types.ast import INT, STR
+from repro.mappings.mapping import (
+    Budget,
+    ConstantGraphRel,
+    IdentityRel,
+    Mapping,
+    Unenumerable,
+    identity_on,
+    mapping_from_function,
+    mapping_from_pairs,
+)
+
+
+def paper_k() -> Mapping:
+    """The mapping K of Section 2.2 — functional in neither direction."""
+    return Mapping(
+        {("e", "a"), ("i", "a"), ("f", "b"), ("j", "b"), ("g", "c"), ("g", "d")},
+        STR,
+        STR,
+    )
+
+
+class TestBasics:
+    def test_holds(self):
+        k = paper_k()
+        assert k.holds("e", "a")
+        assert not k.holds("e", "b")
+
+    def test_images_and_preimages(self):
+        k = paper_k()
+        assert set(k.images("g")) == {"c", "d"}
+        assert set(k.preimages("a")) == {"e", "i"}
+        assert set(k.images("zzz")) == set()
+
+    def test_domain_codomain(self):
+        k = paper_k()
+        assert k.domain() == {"e", "i", "f", "j", "g"}
+        assert k.codomain() == {"a", "b", "c", "d"}
+
+    def test_len_eq_hash(self):
+        k1, k2 = paper_k(), paper_k()
+        assert len(k1) == 6
+        assert k1 == k2
+        assert hash(k1) == hash(k2)
+
+    def test_pairs_enumeration(self):
+        assert set(paper_k().pairs()) == {
+            ("e", "a"), ("i", "a"), ("f", "b"), ("j", "b"), ("g", "c"), ("g", "d")
+        }
+
+
+class TestClassification:
+    def test_paper_k_not_functional(self):
+        k = paper_k()
+        assert not k.is_functional()
+        assert not k.is_injective()
+
+    def test_functional_not_injective(self):
+        h = Mapping({(1, 10), (2, 10)}, INT, INT)
+        assert h.is_functional()
+        assert not h.is_injective()
+
+    def test_injective(self):
+        h = Mapping({(1, 10), (2, 20)}, INT, INT)
+        assert h.is_injective()
+
+    def test_totality_needs_declared_domain(self):
+        h = Mapping({(1, 10)}, INT, INT, source_domain=(1, 2))
+        assert not h.is_total()
+        h2 = Mapping({(1, 10), (2, 10)}, INT, INT, source_domain=(1, 2))
+        assert h2.is_total()
+
+    def test_surjectivity(self):
+        h = Mapping({(1, 10)}, INT, INT, target_domain=(10, 20))
+        assert not h.is_surjective()
+
+    def test_bijective(self):
+        h = Mapping(
+            {(1, 10), (2, 20)},
+            INT,
+            INT,
+            source_domain=(1, 2),
+            target_domain=(10, 20),
+        )
+        assert h.is_bijective()
+
+
+class TestAlgebra:
+    def test_compose(self):
+        h1 = Mapping({(1, 10), (2, 20)}, INT, INT)
+        h2 = Mapping({(10, 100), (20, 200), (20, 201)}, INT, INT)
+        h3 = h1.compose(h2)
+        assert set(h3.pairs()) == {(1, 100), (2, 200), (2, 201)}
+
+    def test_inverse_roundtrip(self):
+        k = paper_k()
+        assert set(k.inverse().pairs()) == {(y, x) for x, y in k.pairs()}
+        assert k.inverse().inverse() == k
+
+    def test_inverse_of_function_not_function(self):
+        # The paper's point: inverses of (even strong) homomorphisms
+        # need not be functions.
+        h = Mapping({(1, 10), (2, 10)}, INT, INT)
+        assert h.is_functional()
+        assert not h.inverse().is_functional()
+
+    def test_restrict(self):
+        k = paper_k().restrict({"g"})
+        assert set(k.pairs()) == {("g", "c"), ("g", "d")}
+
+    def test_union(self):
+        a = Mapping({(1, 10)}, INT, INT)
+        b = Mapping({(2, 20)}, INT, INT)
+        assert set(a.union(b).pairs()) == {(1, 10), (2, 20)}
+
+    def test_apply_functional(self):
+        h = Mapping({(1, 10)}, INT, INT)
+        assert h.apply(1) == 10
+        with pytest.raises(KeyError):
+            h.apply(2)
+
+    def test_apply_rejects_nonfunctional(self):
+        k = paper_k()
+        with pytest.raises(ValueError):
+            k.apply("g")
+
+
+class TestIdentityRel:
+    def test_unbounded_identity(self):
+        i = identity_on(INT)
+        assert i.holds(3, 3)
+        assert not i.holds(3, 4)
+        assert list(i.images(3)) == [3]
+
+    def test_carrier_restricts(self):
+        i = identity_on(INT, carrier=(1, 2))
+        assert i.holds(1, 1)
+        assert not i.holds(3, 3)
+        assert set(i.pairs()) == {(1, 1), (2, 2)}
+
+    def test_unbounded_pairs_unenumerable(self):
+        with pytest.raises(Unenumerable):
+            list(identity_on(INT).pairs())
+
+    def test_inverse_is_self(self):
+        i = identity_on(INT)
+        assert i.inverse() is i
+
+
+class TestConstantGraphRel:
+    def test_graph_semantics(self):
+        g = ConstantGraphRel(lambda x: x + 1, INT, INT, carrier=(1, 2))
+        assert g.holds(1, 2)
+        assert not g.holds(1, 3)
+        assert not g.holds(5, 6)  # outside carrier
+        assert set(g.pairs()) == {(1, 2), (2, 3)}
+        assert set(g.preimages(3)) == {2}
+
+
+class TestHelpers:
+    def test_mapping_from_function(self):
+        h = mapping_from_function(lambda x: x * 2, (1, 2), INT, INT)
+        assert set(h.pairs()) == {(1, 2), (2, 4)}
+        assert h.is_total()
+
+    def test_mapping_from_pairs(self):
+        h = mapping_from_pairs([(1, 2)], INT, INT)
+        assert h.holds(1, 2)

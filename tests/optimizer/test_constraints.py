@@ -1,0 +1,99 @@
+"""Tests for schema constraints and injectivity reasoning."""
+
+import pytest
+
+from repro.optimizer.constraints import (
+    Catalog,
+    RelationInfo,
+    base_relations,
+    check_key_on_instance,
+    projection_injective_on,
+)
+from repro.optimizer.plan import Difference, Project, Scan, Select, Union
+from repro.types.values import cvset, tup
+
+
+def hr_catalog() -> Catalog:
+    shared = {(0,): "ssn"}
+    return Catalog(
+        [
+            RelationInfo("employees", 3, keys=((0,),), shared_keys=shared),
+            RelationInfo("students", 3, keys=((0,),), shared_keys=shared),
+            RelationInfo("contractors", 3),
+            RelationInfo("badges", 2, keys=((0,),),
+                         shared_keys={(0,): "badge"}),
+        ]
+    )
+
+
+class TestCatalog:
+    def test_key_for(self):
+        cat = hr_catalog()
+        assert cat.key_for("employees", (0,))
+        assert cat.key_for("employees", (0, 1))  # superset of a key
+        assert not cat.key_for("employees", (1,))
+        assert not cat.key_for("contractors", (0,))
+        assert not cat.key_for("ghost", (0,))
+
+    def test_shared_key_group(self):
+        cat = hr_catalog()
+        assert cat.shared_key_group("employees", (0,)) == "ssn"
+        assert cat.shared_key_group("badges", (0,)) == "badge"
+        assert cat.shared_key_group("contractors", (0,)) is None
+
+
+class TestBaseRelations:
+    def test_collects_scans(self):
+        plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+        assert base_relations(plan) == {"employees", "students"}
+
+    def test_single_scan(self):
+        assert base_relations(Scan("x")) == {"x"}
+
+
+class TestProjectionInjectivity:
+    def test_same_group_accepted(self):
+        cat = hr_catalog()
+        assert projection_injective_on(
+            cat, (Scan("employees"), Scan("students")), (0,)
+        )
+
+    def test_missing_key_rejected(self):
+        cat = hr_catalog()
+        assert not projection_injective_on(
+            cat, (Scan("employees"), Scan("contractors")), (0,)
+        )
+
+    def test_different_groups_rejected(self):
+        # Both relations have keys on column 1 but in *different*
+        # groups: a ssn and a badge id may collide across relations.
+        cat = hr_catalog()
+        assert not projection_injective_on(
+            cat, (Scan("employees"), Scan("badges")), (0,)
+        )
+
+    def test_selection_passes_columns_through(self):
+        cat = hr_catalog()
+        plan = Select("p", lambda t: True, Scan("employees"))
+        assert projection_injective_on(cat, (plan, Scan("students")), (0,))
+
+    def test_projection_blocks_column_tracking(self):
+        cat = hr_catalog()
+        shuffled = Project((1, 0), Scan("employees"))
+        assert not projection_injective_on(
+            cat, (shuffled, Scan("students")), (0,)
+        )
+
+
+class TestInstanceKeys:
+    def test_key_holds(self):
+        r = cvset(tup(1, "a"), tup(2, "a"))
+        assert check_key_on_instance(r, (0,))
+
+    def test_key_violated(self):
+        r = cvset(tup(1, "a"), tup(1, "b"))
+        assert not check_key_on_instance(r, (0,))
+
+    def test_composite_key(self):
+        r = cvset(tup(1, "a", "x"), tup(1, "b", "y"))
+        assert check_key_on_instance(r, (0, 1))

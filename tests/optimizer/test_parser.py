@@ -1,0 +1,102 @@
+"""Tests for the plan parser."""
+
+import pytest
+
+from repro.optimizer.parser import PlanParseError, parse_plan
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute,
+)
+from repro.types.values import cvset, tup
+
+
+DB = {
+    "r": cvset(tup(1, 2), tup(2, 2), tup(3, 4)),
+    "s": cvset(tup(1, 2)),
+}
+
+
+class TestStructure:
+    def test_scan(self):
+        assert parse_plan("employees") == Scan("employees")
+
+    def test_projection_one_based(self):
+        assert parse_plan("pi[1](r)") == Project((0,), Scan("r"))
+        assert parse_plan("pi[2,1](r)") == Project((1, 0), Scan("r"))
+
+    def test_binary_operators(self):
+        assert parse_plan("r U s") == Union(Scan("r"), Scan("s"))
+        assert parse_plan("r - s") == Difference(Scan("r"), Scan("s"))
+        assert parse_plan("r & s") == Intersect(Scan("r"), Scan("s"))
+        assert parse_plan("r x s") == Product(Scan("r"), Scan("s"))
+
+    def test_left_associativity(self):
+        plan = parse_plan("r - s - t")
+        assert plan == Difference(Difference(Scan("r"), Scan("s")), Scan("t"))
+
+    def test_parentheses(self):
+        plan = parse_plan("r - (s - t)")
+        assert plan == Difference(Scan("r"), Difference(Scan("s"), Scan("t")))
+
+    def test_nested(self):
+        plan = parse_plan("pi[1](pi[1,2](r U s))")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Project)
+
+
+class TestSelections:
+    def test_column_vs_literal(self):
+        plan = parse_plan("sigma[$1=2](r)")
+        out = execute(plan, DB).value
+        assert out == cvset(tup(2, 2))
+
+    def test_column_vs_column(self):
+        plan = parse_plan("sigma[$1=$2](r)")
+        assert execute(plan, DB).value == cvset(tup(2, 2))
+
+    def test_comparators(self):
+        assert execute(parse_plan("sigma[$1>2](r)"), DB).value == cvset(tup(3, 4))
+        assert execute(parse_plan("sigma[$1<2](r)"), DB).value == cvset(tup(1, 2))
+
+    def test_string_literal(self):
+        db = {"t": cvset(tup("a", 1), tup("b", 2))}
+        assert execute(parse_plan("sigma[$1='a'](t)"), db).value == cvset(tup("a", 1))
+
+
+class TestErrors:
+    def test_zero_column_rejected(self):
+        with pytest.raises(PlanParseError):
+            parse_plan("pi[0](r)")
+        with pytest.raises(PlanParseError):
+            parse_plan("sigma[$0=1](r)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PlanParseError):
+            parse_plan("r s")
+
+    def test_bad_character(self):
+        with pytest.raises(PlanParseError):
+            parse_plan("r ? s")
+
+    def test_missing_paren(self):
+        with pytest.raises(PlanParseError):
+            parse_plan("pi[1](r")
+
+
+class TestRoundtripWithRewriter:
+    def test_parsed_plan_optimizes(self):
+        import random
+
+        from repro.engine.workload import hr_database
+        from repro.optimizer.rewriter import Rewriter
+
+        db = hr_database(random.Random(0), employees=10, students=6, overlap=2)
+        plan = parse_plan("pi[1](employees - students)")
+        optimized = Rewriter(db.catalog).optimize(plan)
+        assert db.run(plan).value == db.run(optimized).value

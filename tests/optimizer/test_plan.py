@@ -1,0 +1,124 @@
+"""Tests for the plan IR and its work-counting interpreter."""
+
+import pytest
+
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute,
+)
+from repro.types.values import CVSet, Tup, cvset, tup
+
+
+DB = {
+    "R": cvset(tup(1, "a"), tup(2, "b"), tup(3, "a")),
+    "S": cvset(tup(1, "a"), tup(4, "c")),
+    "T": cvset(tup("a", 10), tup("b", 20)),
+}
+
+
+class TestEvaluation:
+    def test_scan(self):
+        assert execute(Scan("R"), DB).value == DB["R"]
+
+    def test_scan_missing_relation_empty(self):
+        assert execute(Scan("missing"), DB).value == CVSet()
+
+    def test_project(self):
+        out = execute(Project((1,), Scan("R")), DB).value
+        assert out == cvset(tup("a"), tup("b"))
+
+    def test_select(self):
+        plan = Select("first>1", lambda t: t[0] > 1, Scan("R"))
+        assert execute(plan, DB).value == cvset(tup(2, "b"), tup(3, "a"))
+
+    def test_union(self):
+        out = execute(Union(Scan("R"), Scan("S")), DB).value
+        assert len(out) == 4
+
+    def test_difference(self):
+        out = execute(Difference(Scan("R"), Scan("S")), DB).value
+        assert out == cvset(tup(2, "b"), tup(3, "a"))
+
+    def test_intersect(self):
+        out = execute(Intersect(Scan("R"), Scan("S")), DB).value
+        assert out == cvset(tup(1, "a"))
+
+    def test_product_concatenates(self):
+        out = execute(Product(Scan("S"), Scan("S")), DB).value
+        assert tup(1, "a", 4, "c") in out
+        assert len(out) == 4
+
+    def test_join(self):
+        plan = Join(((1, 0),), Scan("R"), Scan("T"))
+        out = execute(plan, DB).value
+        assert tup(1, "a", "a", 10) in out
+        assert tup(2, "b", "b", 20) in out
+        assert len(out) == 3
+
+    def test_join_no_columns_is_product(self):
+        plan = Join((), Scan("S"), Scan("S"))
+        assert len(execute(plan, DB).value) == 4
+
+    def test_map(self):
+        plan = MapNode("swap", lambda t: Tup((t[1], t[0])), Scan("S"))
+        assert execute(plan, DB).value == cvset(tup("a", 1), tup("c", 4))
+
+    def test_unknown_node_rejected(self):
+        class Rogue(Plan):
+            pass
+
+        with pytest.raises(TypeError):
+            execute(Rogue(), DB)
+
+
+class TestWorkAccounting:
+    def test_scan_free(self):
+        assert execute(Scan("R"), DB).work == 0
+
+    def test_project_pays_input_width(self):
+        result = execute(Project((0,), Scan("R")), DB)
+        assert result.work == 6  # 3 tuples x width 2
+
+    def test_narrower_inputs_cheaper_downstream(self):
+        wide = execute(Union(Scan("R"), Scan("S")), DB).work
+        narrow = execute(
+            Union(Project((0,), Scan("R")), Project((0,), Scan("S"))), DB
+        ).work
+        # Union over width-1 inputs costs less than over width-2 even
+        # after paying for the projections' input scans... verify the
+        # union component specifically.
+        result = execute(
+            Union(Project((0,), Scan("R")), Project((0,), Scan("S"))), DB
+        )
+        union_work = dict(result.per_node)["union"]
+        assert union_work < wide
+
+    def test_per_node_log(self):
+        result = execute(Project((0,), Union(Scan("R"), Scan("S"))), DB)
+        names = [name for name, _ in result.per_node]
+        assert "union" in names
+        assert any(name.startswith("pi") for name in names)
+
+
+class TestStructure:
+    def test_with_children_rebuilds(self):
+        plan = Union(Scan("R"), Scan("S"))
+        rebuilt = plan.with_children((Scan("S"), Scan("R")))
+        assert rebuilt == Union(Scan("S"), Scan("R"))
+
+    def test_scan_refuses_children(self):
+        with pytest.raises(ValueError):
+            Scan("R").with_children((Scan("S"),))
+
+    def test_str_rendering(self):
+        plan = Project((0,), Difference(Scan("R"), Scan("S")))
+        assert str(plan) == "pi[1]((R - S))"

@@ -1,0 +1,158 @@
+"""Tests for rules and the rewriter (Section 4.4)."""
+
+import random
+
+import pytest
+
+from repro.engine.workload import hr_database, random_database
+from repro.optimizer.constraints import Catalog, RelationInfo
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    MapNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute,
+)
+from repro.optimizer.rewriter import Rewriter, verify_equivalence
+from repro.optimizer.rules import DEFAULT_RULES
+from repro.types.values import Tup, cvset, tup
+
+
+@pytest.fixture()
+def db():
+    return hr_database(random.Random(0), employees=12, students=8, overlap=3)
+
+
+def optimize(plan, catalog):
+    rewriter = Rewriter(catalog)
+    return rewriter.optimize(plan), rewriter
+
+
+class TestRuleFiring:
+    def test_map_through_union(self, db):
+        plan = MapNode("f", lambda t: Tup((t[0],)),
+                       Union(Scan("employees"), Scan("students")))
+        optimized, rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Union)
+        assert isinstance(optimized.left, MapNode)
+        assert any(t.rule.name == "push-map-through-union" for t in rw.trace)
+
+    def test_project_through_union(self, db):
+        plan = Project((0,), Union(Scan("employees"), Scan("students")))
+        optimized, _rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Union)
+
+    def test_project_through_diff_with_key(self, db):
+        plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+        optimized, rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Difference)
+        assert any(
+            "difference" in t.rule.name for t in rw.trace
+        )
+
+    def test_project_through_diff_without_key_blocked(self, db):
+        plan = Project((0,), Difference(Scan("employees"), Scan("contractors")))
+        optimized, rw = optimize(plan, db.catalog)
+        assert optimized == plan
+        assert not rw.trace
+
+    def test_project_through_intersect_with_key(self, db):
+        plan = Project((0,), Intersect(Scan("employees"), Scan("students")))
+        optimized, _rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Intersect)
+
+    def test_injective_map_through_difference(self, db):
+        plan = MapNode(
+            "tag", lambda t: Tup(("#", *t)),
+            Difference(Scan("employees"), Scan("students")),
+            injective=True,
+        )
+        optimized, _rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Difference)
+
+    def test_noninjective_map_through_difference_blocked(self, db):
+        plan = MapNode(
+            "collapse", lambda t: Tup((0,)),
+            Difference(Scan("employees"), Scan("students")),
+            injective=False,
+        )
+        optimized, _rw = optimize(plan, db.catalog)
+        assert optimized == plan
+
+    def test_select_through_union(self, db):
+        plan = Select("p", lambda t: True,
+                      Union(Scan("employees"), Scan("students")))
+        optimized, _rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Union)
+        assert isinstance(optimized.left, Select)
+
+    def test_fuse_projections(self, db):
+        plan = Project((0,), Project((0, 1), Scan("employees")))
+        optimized, _rw = optimize(plan, db.catalog)
+        assert optimized == Project((0,), Scan("employees"))
+
+    def test_nested_opportunities_found(self, db):
+        # Projection above a union above another union: both pushed.
+        plan = Project(
+            (0,),
+            Union(
+                Union(Scan("employees"), Scan("students")),
+                Scan("contractors"),
+            ),
+        )
+        optimized, rw = optimize(plan, db.catalog)
+        assert isinstance(optimized, Union)
+        assert len(rw.trace) >= 2
+
+    def test_explain_mentions_justifications(self, db):
+        plan = Project((0,), Union(Scan("employees"), Scan("students")))
+        _optimized, rw = optimize(plan, db.catalog)
+        explanation = "\n".join(rw.explain())
+        assert "parametricity" in explanation
+
+
+class TestEquivalence:
+    def test_all_fired_rewrites_preserve_answers(self, db):
+        rng = random.Random(1)
+        keyed = [
+            hr_database(random.Random(s), employees=6 + s, students=5,
+                        overlap=2).snapshot()
+            for s in range(8)
+        ]
+        plans = [
+            Project((0,), Union(Scan("employees"), Scan("students"))),
+            Project((0,), Difference(Scan("employees"), Scan("students"))),
+            MapNode("w", lambda t: Tup((t[1],)),
+                    Union(Scan("employees"), Scan("students"))),
+            Select("p", lambda t: t[0] % 2 == 0,
+                   Union(Scan("employees"), Scan("students"))),
+        ]
+        for plan in plans:
+            optimized, _rw = optimize(plan, db.catalog)
+            assert verify_equivalence(plan, optimized, keyed) is None
+
+    def test_verify_equivalence_catches_difference(self):
+        a = Scan("R")
+        b = Project((0, 1), Difference(Scan("R"), Scan("S")))
+        rng = random.Random(0)
+        dbs = [random_database(rng, ("R", "S")) for _ in range(20)]
+        assert verify_equivalence(a, b, dbs) is not None
+
+    def test_verify_equivalence_accepts_identical(self):
+        rng = random.Random(0)
+        dbs = [random_database(rng, ("R",)) for _ in range(5)]
+        assert verify_equivalence(Scan("R"), Scan("R"), dbs) is None
+
+
+class TestTrace:
+    def test_trace_records_before_after(self, db):
+        plan = Project((0,), Union(Scan("employees"), Scan("students")))
+        _optimized, rw = optimize(plan, db.catalog)
+        assert rw.trace
+        trace = rw.trace[0]
+        assert "=>" in str(trace)
+        assert trace.before != trace.after

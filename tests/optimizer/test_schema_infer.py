@@ -1,0 +1,98 @@
+"""Tests for plan schema inference."""
+
+import pytest
+
+from repro.optimizer.constraints import Catalog, RelationInfo
+from repro.optimizer.parser import parse_plan
+from repro.optimizer.plan import (
+    Difference,
+    Join,
+    MapNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from repro.optimizer.schema_infer import (
+    SchemaInferenceError,
+    infer_arity,
+    plan_type,
+    validate_plan,
+)
+from repro.types.values import Tup
+
+
+@pytest.fixture()
+def catalog():
+    return Catalog([
+        RelationInfo("r", 2),
+        RelationInfo("s", 2),
+        RelationInfo("t", 3),
+    ])
+
+
+class TestInference:
+    def test_scan(self, catalog):
+        assert infer_arity(Scan("t"), catalog) == 3
+
+    def test_unknown_relation(self, catalog):
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(Scan("ghost"), catalog)
+
+    def test_projection_narrows(self, catalog):
+        assert infer_arity(Project((0,), Scan("t")), catalog) == 1
+        assert infer_arity(Project((2, 0), Scan("t")), catalog) == 2
+
+    def test_projection_out_of_range(self, catalog):
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(Project((3,), Scan("t")), catalog)
+
+    def test_nested_projection_mismatch_caught(self, catalog):
+        # The plan the rewriter property test surfaced: outer projects a
+        # column the inner projection removed.
+        plan = Project((1,), Project((0,), Scan("r")))
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(plan, catalog)
+
+    def test_union_compatibility(self, catalog):
+        assert infer_arity(Union(Scan("r"), Scan("s")), catalog) == 2
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(Union(Scan("r"), Scan("t")), catalog)
+
+    def test_difference_compatibility(self, catalog):
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(Difference(Scan("t"), Scan("r")), catalog)
+
+    def test_product_adds(self, catalog):
+        assert infer_arity(Product(Scan("r"), Scan("t")), catalog) == 5
+
+    def test_join_bounds(self, catalog):
+        assert infer_arity(Join(((1, 0),), Scan("r"), Scan("t")), catalog) == 5
+        with pytest.raises(SchemaInferenceError):
+            infer_arity(Join(((2, 0),), Scan("r"), Scan("t")), catalog)
+
+    def test_select_transparent(self, catalog):
+        plan = Select("p", lambda t: True, Scan("t"))
+        assert infer_arity(plan, catalog) == 3
+
+    def test_map_passes_child_through(self, catalog):
+        plan = MapNode("f", lambda t: Tup((t[0],)), Scan("t"))
+        assert infer_arity(plan, catalog) == 3
+
+
+class TestPlanType:
+    def test_shape(self, catalog):
+        t = plan_type(Project((0,), Scan("t")), catalog)
+        assert str(t) == "{X}"
+        t2 = plan_type(Scan("r"), catalog)
+        assert str(t2) == "{X * X}"
+
+
+class TestValidate:
+    def test_good_plan(self, catalog):
+        assert validate_plan(parse_plan("pi[1](r - s)"), catalog)
+
+    def test_bad_plan(self, catalog):
+        assert not validate_plan(parse_plan("pi[3](r)"), catalog)
+        assert not validate_plan(parse_plan("r U t"), catalog)

@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import OPERATION_CATALOG, build_parser, main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E-2.2" in out
+        assert "E-OPT" in out
+
+
+class TestRun:
+    def test_runs_named_experiment(self, capsys):
+        assert main(["run", "E-2.6"]) == 0
+        out = capsys.readouterr().out
+        assert "MATCHES PAPER" in out
+
+    def test_unknown_id_errors(self, capsys):
+        assert main(["run", "E-404"]) == 2
+
+    def test_no_ids_errors(self, capsys):
+        assert main(["run"]) == 2
+
+
+class TestClassify:
+    def test_classifies_catalog_operation(self, capsys):
+        assert main(["classify", "projection", "--trials", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "tightest rel class" in out
+
+    def test_unknown_operation(self, capsys):
+        assert main(["classify", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "choose from" in err
+
+    def test_catalog_entries_build(self):
+        for factory in OPERATION_CATALOG.values():
+            query = factory()
+            assert query.name
+
+
+class TestOptimize:
+    def test_optimizes_plan_text(self, capsys):
+        code = main(["optimize", "pi[1](employees - students)",
+                     "--size", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rewritten" in out
+        assert "chosen" in out
+
+    def test_parse_error_reported(self, capsys):
+        assert main(["optimize", "pi[0]("]) == 2
+        assert "parse error" in capsys.readouterr().err
+
+    def test_show_rows(self, capsys):
+        main(["optimize", "employees", "--size", "5", "--show-rows", "3"])
+        out = capsys.readouterr().out
+        assert "answer (" in out
+
+
+class TestWriteup:
+    def test_writeup_to_custom_path(self, tmp_path, capsys):
+        target = tmp_path / "EXP.md"
+        assert main(["writeup", str(target)]) == 0
+        text = target.read_text()
+        assert "paper vs. measured" in text
+        assert "E-2.2" in text
+
+
+class TestParser:
+    def test_build_parser_has_subcommands(self):
+        parser = build_parser()
+        args = parser.parse_args(["list"])
+        assert args.command == "list"

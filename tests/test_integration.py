@@ -1,0 +1,127 @@
+"""Cross-module integration tests: the paper's storylines end to end."""
+
+import random
+
+import pytest
+
+from repro.algebra.operators import (
+    difference_op,
+    projection,
+    select_eq,
+    self_compose,
+    union_op,
+)
+from repro.engine.database import Database
+from repro.engine.workload import hr_database, paper_h_pairs, paper_r1, paper_r2
+from repro.genericity.classify import classify
+from repro.genericity.hierarchy import GenericitySpec
+from repro.genericity.invariance import check_invariance
+from repro.genericity.witnesses import find_counterexample
+from repro.lambda2.parametricity import check_parametricity
+from repro.lambda2.prelude import build_prelude
+from repro.listset.setfuncs import poly, set_union
+from repro.listset.transfer import transfer_parametricity
+from repro.mappings.extensions import REL, STRONG
+from repro.mappings.families import MappingFamily
+from repro.mappings.mapping import Mapping
+from repro.optimizer.plan import Difference, Project, Scan, Union
+from repro.optimizer.rewriter import Rewriter, verify_equivalence
+from repro.types.ast import STR
+from repro.types.parser import parse_type
+from repro.types.values import Tup, cvlist
+
+
+class TestGenericityStoryline:
+    """Section 2-3: from the motivating example to classification."""
+
+    def test_example_2_2_through_generic_machinery(self):
+        fam = MappingFamily({"str": Mapping(paper_h_pairs(), STR, STR)})
+        report = check_invariance(
+            self_compose(), fam, STRONG, [paper_r1()], base=STR
+        )
+        assert report.invariant
+
+    def test_classification_recovers_section_3(self):
+        # The classification table reproduces the paper's placement of
+        # the core operations.
+        pi_row = classify(projection((0,), 2), trials=15)
+        assert pi_row.tightest(REL).name == "all"
+        sigma_row = classify(select_eq(0, 1, 2), trials=40)
+        assert sigma_row.tightest(REL).name == "injective"
+
+    def test_binary_ops_break_rel_mode_but_not_injective(self):
+        for op in (difference_op(),):
+            all_spec = GenericitySpec("all", "all")
+            inj_spec = GenericitySpec("injective", "injective")
+            assert find_counterexample(op, all_spec, REL, trials=200).found
+            assert not find_counterexample(op, inj_spec, REL, trials=40).found
+
+
+class TestParametricityStoryline:
+    """Section 4: typecheck -> evaluate -> parametricity -> transfer."""
+
+    def test_full_pipeline_for_union(self):
+        prelude = build_prelude()
+        # 1. append is parametric at its checked type (Thm 4.4).
+        report = check_parametricity(
+            prelude.value("append"), prelude.type_of("append"), "append"
+        )
+        assert report.parametric
+        # 2. its type is LtoS and union is analogous (Cor 4.15).
+        samples = [Tup((cvlist(0, 1), cvlist(1, 2))), Tup((cvlist(), cvlist()))]
+        transfer = transfer_parametricity(
+            "append", prelude.value("append"), poly(set_union),
+            prelude.type_of("append"), samples,
+        )
+        assert transfer.transferred
+        # 3. hence union is parametric at the set type.
+        set_report = check_parametricity(
+            poly(set_union), parse_type("forall X. {X} * {X} -> {X}"), "union"
+        )
+        assert set_report.parametric
+
+    def test_parametricity_refines_genericity_for_union(self):
+        # Genericity of the algebra's union (Section 3) and the
+        # parametricity route (Section 4) agree.
+        spec = GenericitySpec("all", "all")
+        search = find_counterexample(union_op(), spec, REL, trials=60)
+        assert not search.found
+
+
+class TestOptimizerStoryline:
+    """Section 4.4: constraints license rewrites, verified end to end."""
+
+    def test_hr_scenario(self):
+        db = hr_database(random.Random(0), employees=25, students=18,
+                         overlap=6)
+        plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+        rewriter = Rewriter(db.catalog)
+        optimized = rewriter.optimize(plan)
+        assert optimized != plan
+        before, after = db.run(plan), db.run(optimized)
+        assert before.value == after.value
+        assert after.work <= before.work
+        assert any("injective" in line for line in rewriter.explain())
+
+    def test_engine_schema_feeds_catalog(self):
+        db = Database()
+        shared = {(0,): "pk"}
+        db.create("a", 2, keys=[(0,)], shared_keys=shared)
+        db.create("b", 2, keys=[(0,)], shared_keys=shared)
+        db.insert("a", [(1, "x"), (2, "y")])
+        db.insert("b", [(1, "x")])
+        plan = Project((0,), Difference(Scan("a"), Scan("b")))
+        optimized = Rewriter(db.catalog).optimize(plan)
+        assert isinstance(optimized, Difference)
+        assert db.run(plan).value == db.run(optimized).value
+
+
+class TestExperimentsAgreeWithDirectChecks:
+    def test_registry_result_consistent_with_manual_run(self):
+        from repro.experiments import run
+
+        result = run("E-2.6")
+        assert result.matches_paper
+        fam = MappingFamily({"str": Mapping(paper_h_pairs(), STR, STR)})
+        t = parse_type("{str * str}")
+        assert fam.extend(t, REL).holds(paper_r1(), paper_r2())

@@ -1,0 +1,132 @@
+"""Property-based roundtrip tests for the concrete syntaxes.
+
+Three parsers ship with the library (types, System F terms, plans);
+each has a printer.  These hypothesis properties check
+``parse(print(x)) == x`` over randomly generated ASTs.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lambda2.parser import parse_term
+from repro.lambda2.pretty import pretty
+from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TApp, TLam, Var
+from repro.optimizer.parser import parse_plan
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    Product as PlanProduct,
+    Project,
+    Scan,
+    Union,
+)
+from repro.types.ast import (
+    BOOL,
+    INT,
+    STR,
+    BagType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    TypeVar,
+)
+from repro.types.parser import parse_type
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+base_types = st.sampled_from([INT, BOOL, STR])
+var_names = st.sampled_from(["X", "Y", "Z1"])
+type_vars = st.builds(TypeVar, var_names, st.booleans())
+
+types = st.recursive(
+    st.one_of(base_types, type_vars),
+    lambda children: st.one_of(
+        st.builds(SetType, children),
+        st.builds(BagType, children),
+        st.builds(ListType, children),
+        st.builds(FuncType, children, children),
+        # Products of arity >= 2: unary/empty products have no distinct
+        # concrete syntax.
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda cs: Product(tuple(cs))
+        ),
+        st.builds(ForAll, var_names, children, st.booleans()),
+    ),
+    max_leaves=8,
+)
+
+
+class TestTypeRoundtrip:
+    @given(types)
+    @settings(max_examples=200)
+    def test_parse_of_str(self, t):
+        assert parse_type(str(t)) == t
+
+
+# ---------------------------------------------------------------------------
+# System F terms
+# ---------------------------------------------------------------------------
+
+term_var_names = st.sampled_from(["x", "y", "f", "acc"])
+tvar_names = st.sampled_from(["X", "Y"])
+
+terms = st.recursive(
+    st.one_of(
+        st.builds(Var, term_var_names),
+        st.builds(Lit, st.integers(min_value=0, max_value=99), st.just(INT)),
+        st.sampled_from([Lit(True, BOOL), Lit(False, BOOL)]),
+    ),
+    lambda children: st.one_of(
+        st.builds(App, children, children),
+        st.builds(TApp, children, types),
+        st.builds(Lam, term_var_names, types, children),
+        st.builds(TLam, tvar_names, children, st.booleans()),
+        st.lists(children, min_size=2, max_size=3).map(
+            lambda cs: MkTuple(tuple(cs))
+        ),
+        st.builds(Proj, children, st.integers(min_value=0, max_value=2)),
+    ),
+    max_leaves=8,
+)
+
+
+class TestTermRoundtrip:
+    @given(terms)
+    @settings(max_examples=200)
+    def test_parse_of_pretty(self, term):
+        assert parse_term(pretty(term)) == term
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+relation_names = st.sampled_from(["r", "s", "emp", "t2"])
+
+plans = st.recursive(
+    st.builds(Scan, relation_names),
+    lambda children: st.one_of(
+        st.builds(Union, children, children),
+        st.builds(Difference, children, children),
+        st.builds(Intersect, children, children),
+        st.builds(PlanProduct, children, children),
+        st.builds(
+            Project,
+            st.lists(
+                st.integers(min_value=0, max_value=3), min_size=1, max_size=3
+            ).map(tuple),
+            children,
+        ),
+    ),
+    max_leaves=6,
+)
+
+
+class TestPlanRoundtrip:
+    @given(plans)
+    @settings(max_examples=200)
+    def test_parse_of_str(self, plan):
+        assert parse_plan(str(plan)) == plan

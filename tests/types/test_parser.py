@@ -1,0 +1,122 @@
+"""Tests for the type parser."""
+
+import pytest
+
+from repro.types.ast import (
+    BOOL,
+    INT,
+    STR,
+    BagType,
+    ForAll,
+    FuncType,
+    ListType,
+    Product,
+    SetType,
+    TypeVar,
+    forall,
+    func,
+    list_of,
+    set_of,
+    tvar,
+)
+from repro.types.parser import ParseError, parse_type
+
+
+class TestAtoms:
+    def test_base_types(self):
+        assert parse_type("int") == INT
+        assert parse_type("bool") == BOOL
+        assert parse_type("str") == STR
+
+    def test_unknown_lowercase_is_base_type(self):
+        assert parse_type("dom").name == "dom"
+
+    def test_uppercase_is_variable(self):
+        assert parse_type("X") == tvar("X")
+        assert parse_type("Y1") == tvar("Y1")
+
+    def test_eq_variable(self):
+        assert parse_type("X=") == tvar("X", requires_eq=True)
+
+
+class TestConstructors:
+    def test_set(self):
+        assert parse_type("{int}") == set_of(INT)
+
+    def test_bag(self):
+        assert parse_type("{|int|}") == BagType(INT)
+
+    def test_list(self):
+        assert parse_type("<str>") == list_of(STR)
+
+    def test_product(self):
+        assert parse_type("int * str") == Product((INT, STR))
+
+    def test_product_three_way(self):
+        assert parse_type("int * str * bool") == Product((INT, STR, BOOL))
+
+    def test_arrow_right_associative(self):
+        assert parse_type("int -> str -> bool") == func(INT, STR, BOOL)
+
+    def test_product_binds_tighter_than_arrow(self):
+        t = parse_type("int * str -> bool")
+        assert t == FuncType(Product((INT, STR)), BOOL)
+
+    def test_parens_override(self):
+        t = parse_type("int * (str -> bool)")
+        assert t == Product((INT, FuncType(STR, BOOL)))
+
+    def test_unit(self):
+        assert parse_type("()") == Product(())
+
+    def test_nested_collections(self):
+        assert parse_type("{{int}}") == set_of(set_of(INT))
+        assert parse_type("<{int * str}>") == list_of(set_of(INT * STR))
+
+
+class TestForall:
+    def test_simple(self):
+        t = parse_type("forall X. X -> X")
+        assert t == forall("X", func(tvar("X"), tvar("X")))
+
+    def test_nested(self):
+        t = parse_type("forall X. forall Y. X -> Y")
+        assert isinstance(t, ForAll)
+        assert isinstance(t.body, ForAll)
+
+    def test_eq_quantifier(self):
+        t = parse_type("forall X=. <X=> * <X=> -> <X=>")
+        assert isinstance(t, ForAll)
+        assert t.requires_eq
+        assert t.body.arg == Product(
+            (list_of(tvar("X", True)), list_of(tvar("X", True)))
+        )
+
+    def test_paper_types_roundtrip(self):
+        # The types named in the paper parse and print consistently.
+        for text in [
+            "forall X. {X} * {X} -> {X}",
+            "forall X. <X> -> int",
+            "forall X. (X -> bool) -> {X} -> {X}",
+            "forall X. forall Y. (X -> Y -> Y) -> Y -> <X> -> Y",
+        ]:
+            t = parse_type(text)
+            assert parse_type(str(t)) == t
+
+
+class TestErrors:
+    def test_unbalanced_brace(self):
+        with pytest.raises(ParseError):
+            parse_type("{int")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_type("int int")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_type("int + int")
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_type("forall X X")

@@ -1,0 +1,76 @@
+"""Tests for signatures and interpreted symbols (Section 2 preamble)."""
+
+import pytest
+
+from repro.types.ast import BOOL, INT, STR, FuncType, TypeError_
+from repro.types.signatures import (
+    ABSTRACT,
+    Interpreted,
+    Signature,
+    standard_signature,
+    uninterpreted_signature,
+)
+
+
+class TestSignature:
+    def test_bool_always_present(self):
+        sig = Signature()
+        assert "bool" in sig.base_types
+
+    def test_add_base_type_idempotent(self):
+        sig = Signature()
+        a = sig.add_base_type("dom")
+        b = sig.add_base_type("dom")
+        assert a is b
+
+    def test_add_and_call_symbol(self):
+        sig = Signature()
+        double = sig.add_symbol("double", (INT,), INT, lambda x: 2 * x)
+        assert double(21) == 42
+        assert sig["double"] is double
+        assert "double" in sig
+
+    def test_arity_enforced(self):
+        sig = Signature()
+        plus = sig.add_symbol("plus", (INT, INT), INT, lambda x, y: x + y)
+        with pytest.raises(TypeError_):
+            plus(1)
+
+    def test_predicate_classification(self):
+        sig = standard_signature()
+        assert sig["even"].is_predicate
+        assert not sig["succ"].is_predicate
+        assert sig["even"] in sig.predicates()
+        assert sig["succ"] in sig.functions()
+
+    def test_curried_type(self):
+        sig = standard_signature()
+        assert sig["plus"].type == FuncType(INT, FuncType(INT, INT))
+
+
+class TestStandardSignature:
+    def test_interpreted_semantics(self):
+        sig = standard_signature()
+        assert sig["succ"](3) == 4
+        assert sig["plus"](2, 3) == 5
+        assert sig["even"](4) is True
+        assert sig["lt"](1, 2) is True
+        assert sig["concat"]("a", "b") == "ab"
+        assert sig["not"](True) is False
+
+    def test_expected_base_types(self):
+        sig = standard_signature()
+        for name in ("int", "str", "float", "bool"):
+            assert name in sig.base_types
+
+
+class TestUninterpretedSignature:
+    def test_abstract_domain_and_no_symbols(self):
+        sig = uninterpreted_signature()
+        assert ABSTRACT.name in sig.base_types
+        assert not sig.symbols
+
+    def test_extra_domains(self):
+        sig = uninterpreted_signature(extra_domains=["names", "cities"])
+        assert "names" in sig.base_types
+        assert "cities" in sig.base_types

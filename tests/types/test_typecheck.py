@@ -1,0 +1,119 @@
+"""Tests for value/type checking and inference."""
+
+import pytest
+
+from repro.types.ast import (
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    BagType,
+    Product,
+    TypeError_,
+    bag_of,
+    list_of,
+    set_of,
+)
+from repro.types.typecheck import (
+    EMPTY,
+    atom_type,
+    check_value,
+    infer_value_type,
+    join_types,
+)
+from repro.types.values import cvbag, cvlist, cvset, tup
+
+
+class TestAtomType:
+    def test_bool_before_int(self):
+        # Python's bool subclasses int; our typing keeps them apart.
+        assert atom_type(True) == BOOL
+        assert atom_type(1) == INT
+
+    def test_str_and_float(self):
+        assert atom_type("x") == STR
+        assert atom_type(1.5) == FLOAT
+
+    def test_non_atom_rejected(self):
+        with pytest.raises(TypeError_):
+            atom_type(tup(1))
+
+
+class TestCheckValue:
+    def test_atoms(self):
+        assert check_value(3, INT)
+        assert not check_value(3, STR)
+        assert check_value(True, BOOL)
+        assert not check_value(1, BOOL)
+
+    def test_tuples(self):
+        assert check_value(tup(1, "a"), INT * STR)
+        assert not check_value(tup(1, "a"), STR * INT)
+        assert not check_value(tup(1), INT * STR)
+
+    def test_sets(self):
+        assert check_value(cvset(1, 2), set_of(INT))
+        assert not check_value(cvset(1, "a"), set_of(INT))
+        assert check_value(cvset(), set_of(INT))
+
+    def test_bags_and_lists(self):
+        assert check_value(cvbag(1, 1), bag_of(INT))
+        assert check_value(cvlist("a"), list_of(STR))
+        assert not check_value(cvlist("a"), set_of(STR))
+
+    def test_nesting(self):
+        t = set_of(Product((INT, list_of(set_of(STR)))))
+        v = cvset(tup(1, cvlist(cvset("a"), cvset())))
+        assert check_value(v, t)
+
+    def test_custom_domain(self):
+        from repro.types.ast import BaseType
+
+        dom = BaseType("dom")
+        members = {"dom": lambda v: isinstance(v, str) and v.startswith("d")}
+        assert check_value("d1", dom, members)
+        assert not check_value("x1", dom, members)
+
+
+class TestJoin:
+    def test_empty_is_bottom(self):
+        assert join_types(EMPTY, INT) == INT
+        assert join_types(set_of(INT), EMPTY) == set_of(INT)
+
+    def test_equal_types(self):
+        assert join_types(INT, INT) == INT
+
+    def test_joins_through_constructors(self):
+        assert join_types(set_of(EMPTY), set_of(INT)) == set_of(INT)
+
+    def test_incompatible_rejected(self):
+        with pytest.raises(TypeError_):
+            join_types(INT, STR)
+        with pytest.raises(TypeError_):
+            join_types(set_of(INT), list_of(INT))
+
+
+class TestInference:
+    def test_atoms(self):
+        assert infer_value_type(3) == INT
+        assert infer_value_type(True) == BOOL
+
+    def test_tuple(self):
+        assert infer_value_type(tup(1, "a")) == Product((INT, STR))
+
+    def test_homogeneous_set(self):
+        assert infer_value_type(cvset(1, 2)) == set_of(INT)
+
+    def test_empty_collection_gets_bottom(self):
+        assert infer_value_type(cvset()) == set_of(EMPTY)
+
+    def test_heterogeneous_set_rejected(self):
+        with pytest.raises(TypeError_):
+            infer_value_type(cvset(1, "a"))
+
+    def test_inferred_type_checks(self):
+        v = cvset(tup(1, cvlist(cvset("a"))))
+        assert check_value(v, infer_value_type(v))
+
+    def test_bag_inference(self):
+        assert infer_value_type(cvbag(1, 1)) == BagType(INT)

@@ -1,0 +1,171 @@
+"""Tests for complex value wrappers."""
+
+import pytest
+
+from repro.types.values import (
+    CVBag,
+    CVList,
+    CVSet,
+    Tup,
+    atoms_of,
+    cvbag,
+    cvlist,
+    cvset,
+    is_atom,
+    is_value,
+    map_atoms,
+    tup,
+    value_depth,
+    value_size,
+)
+
+
+class TestTup:
+    def test_iteration_and_indexing(self):
+        t = tup(1, "a", True)
+        assert len(t) == 3
+        assert t[1] == "a"
+        assert list(t) == [1, "a", True]
+
+    def test_equality_and_hash(self):
+        assert tup(1, 2) == tup(1, 2)
+        assert hash(tup(1, 2)) == hash(tup(1, 2))
+        assert tup(1, 2) != tup(2, 1)
+
+    def test_project(self):
+        assert tup(1, 2, 3).project((2, 0)) == tup(3, 1)
+
+    def test_replace(self):
+        assert tup(1, 2).replace(0, 9) == tup(9, 2)
+
+    def test_nested_tuples(self):
+        t = tup(tup(1, 2), tup(3, 4))
+        assert t[0] == tup(1, 2)
+
+
+class TestCVSet:
+    def test_deduplication(self):
+        assert len(cvset(1, 1, 2)) == 2
+
+    def test_sets_of_sets(self):
+        outer = cvset(cvset(1), cvset(1, 2))
+        assert cvset(1) in outer
+        assert cvset(2) not in outer
+
+    def test_algebra(self):
+        a, b = cvset(1, 2), cvset(2, 3)
+        assert a.union(b) == cvset(1, 2, 3)
+        assert a.intersection(b) == cvset(2)
+        assert a.difference(b) == cvset(1)
+        assert (a | b) == cvset(1, 2, 3)
+        assert (a & b) == cvset(2)
+        assert (a - b) == cvset(1)
+
+    def test_subset(self):
+        assert cvset(1).issubset(cvset(1, 2))
+        assert not cvset(3).issubset(cvset(1, 2))
+
+    def test_add_is_persistent(self):
+        a = cvset(1)
+        b = a.add(2)
+        assert a == cvset(1)
+        assert b == cvset(1, 2)
+
+    def test_empty_set_repr(self):
+        assert repr(cvset()) == "{}"
+
+
+class TestCVBag:
+    def test_multiplicity(self):
+        b = cvbag(1, 1, 2)
+        assert b.count(1) == 2
+        assert b.count(2) == 1
+        assert b.count(3) == 0
+        assert len(b) == 3
+
+    def test_equality_respects_counts(self):
+        assert cvbag(1, 1) != cvbag(1)
+        assert cvbag(1, 2) == cvbag(2, 1)
+
+    def test_support(self):
+        assert cvbag(1, 1, 2).support() == frozenset({1, 2})
+
+    def test_additive_union(self):
+        assert cvbag(1).union(cvbag(1, 2)).count(1) == 2
+
+    def test_iteration_yields_duplicates(self):
+        assert sorted(cvbag(1, 1, 2)) == [1, 1, 2]
+
+
+class TestCVList:
+    def test_order_matters(self):
+        assert cvlist(1, 2) != cvlist(2, 1)
+
+    def test_append(self):
+        assert cvlist(1).append(cvlist(2, 3)) == cvlist(1, 2, 3)
+
+    def test_cons(self):
+        assert cvlist(2, 3).cons(1) == cvlist(1, 2, 3)
+
+    def test_indexing_and_slicing(self):
+        l = cvlist(1, 2, 3)
+        assert l[0] == 1
+        assert l[1:] == cvlist(2, 3)
+
+    def test_duplicates_preserved(self):
+        assert len(cvlist(1, 1)) == 2
+
+    def test_hashable_inside_sets(self):
+        s = cvset(cvlist(1), cvlist(1, 1))
+        assert len(s) == 2
+
+
+class TestPredicates:
+    def test_is_atom(self):
+        assert is_atom(3)
+        assert is_atom("x")
+        assert is_atom(True)
+        assert is_atom(2.5)
+        assert not is_atom(tup(1))
+        assert not is_atom(cvset())
+
+    def test_is_value_accepts_nesting(self):
+        assert is_value(cvset(tup(1, cvlist("a"))))
+
+    def test_is_value_rejects_raw_containers(self):
+        assert not is_value([1, 2])
+        assert not is_value({1, 2})
+
+
+class TestStructuralHelpers:
+    def test_atoms_of(self):
+        v = cvset(tup(1, cvlist("a", "b")), tup(2, cvlist()))
+        assert atoms_of(v) == frozenset({1, 2, "a", "b"})
+
+    def test_atoms_of_bag(self):
+        assert atoms_of(cvbag(1, 1, 2)) == frozenset({1, 2})
+
+    def test_value_depth(self):
+        assert value_depth(5) == 0
+        assert value_depth(tup(1, 2)) == 0
+        assert value_depth(cvset(1)) == 1
+        assert value_depth(cvset(cvset(1))) == 2
+        assert value_depth(tup(cvset(cvset(1)), cvset(2))) == 2
+        assert value_depth(cvset()) == 1
+
+    def test_value_size(self):
+        assert value_size(5) == 1
+        assert value_size(cvset(1, 2)) == 3
+        assert value_size(cvbag(1, 1)) == 3
+
+    def test_map_atoms_preserves_structure(self):
+        v = cvset(tup(1, cvlist(2, 3)))
+        out = map_atoms(v, lambda x: x + 10)
+        assert out == cvset(tup(11, cvlist(12, 13)))
+
+    def test_map_atoms_on_bag(self):
+        assert map_atoms(cvbag(1, 1), lambda x: x + 1).count(2) == 2
+
+    def test_map_atoms_collapse_in_sets(self):
+        # Non-injective atom maps can shrink sets.
+        assert map_atoms(cvset(1, 2), lambda _x: 0) == cvset(0)
