@@ -23,7 +23,16 @@ from repro.mappings.generators import (
     random_mapping_in_class,
     random_relation_value,
 )
-from repro.optimizer.plan import Difference, Project, Scan, execute
+from repro.engine.exec import PlanCache, execute_streaming
+from repro.engine.workload import random_database, random_plan
+from repro.optimizer.plan import (
+    Difference,
+    Join,
+    Project,
+    Scan,
+    execute,
+    execute_reference,
+)
 from repro.optimizer.rewriter import Rewriter
 from repro.types.ast import INT, set_of
 from repro.types.values import CVSet
@@ -130,6 +139,65 @@ def test_plan_execution_scaling(benchmark, size):
     plan = Project((0,), Difference(Scan("employees"), Scan("students")))
     result = benchmark(lambda: db.run(plan))
     assert isinstance(result.value, CVSet)
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_streaming_executor_scaling(benchmark, size):
+    """Streaming executor (cold, uncached) on the HR workload."""
+    db = hr_database(random.Random(4), employees=size, students=size // 2,
+                     overlap=size // 4)
+    plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+    result = benchmark(
+        lambda: execute_streaming(plan, db.relations)
+    )
+    reference = execute_reference(plan, db.relations)
+    assert result.value == reference.value
+    assert result.work == reference.work
+
+
+@pytest.mark.parametrize("size", [100, 400, 1600])
+def test_cached_executor_warm_scaling(benchmark, size):
+    """Warm result cache: repeated identical queries are O(key lookup)."""
+    db = hr_database(random.Random(4), employees=size, students=size // 2,
+                     overlap=size // 4)
+    plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+    db.run(plan)  # warm the cache
+    result = benchmark(lambda: db.run(plan))
+    assert result.value == db.run_reference(plan).value
+
+
+@pytest.mark.parametrize("size", [200, 800])
+def test_hash_join_build_probe(benchmark, size):
+    """Multi-column hash join over random binary relations."""
+    rng = random.Random(9)
+    db = random_database(rng, ("a", "b"), arity=2, domain_size=size // 4,
+                         max_rows=size)
+    plan = Join(((0, 0), (1, 1)), Scan("a"), Scan("b"))
+    result = benchmark(lambda: execute_streaming(plan, db))
+    assert result.value == execute_reference(plan, db).value
+
+
+def test_random_plan_equivalence_throughput(benchmark):
+    """Random-plan equivalence checks per second (the property-test
+    workload; regressions here slow the whole verification suite)."""
+    rng = random.Random(42)
+    pairs = [
+        (
+            random_plan(rng, ("r", "s"), depth=3),
+            random_database(rng, ("r", "s"), arity=2, domain_size=5,
+                            max_rows=10),
+        )
+        for _ in range(10)
+    ]
+
+    def check():
+        for plan, db in pairs:
+            assert (
+                execute_streaming(plan, db).value
+                == execute_reference(plan, db).value
+            )
+
+    benchmark(check)
 
 
 @pytest.mark.parametrize("size", [100, 400])

@@ -1,6 +1,14 @@
-"""In-memory database engine and synthetic workloads."""
+"""In-memory database engine, physical execution layer and workloads."""
 
 from .database import Database, SchemaError
+from .exec import (
+    CacheEntry,
+    PlanCache,
+    execute_streaming,
+    plan_structural_hash,
+    relation_fingerprint,
+    result_cache_key,
+)
 from .serialize import (
     database_from_json,
     database_to_json,
@@ -18,6 +26,7 @@ from .workload import (
     paper_r3,
     random_database,
     random_graph,
+    random_plan,
 )
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -4,19 +4,40 @@ A :class:`Database` is the runtime object tying together the pieces:
 named relations (sets of tuples), their declared schemas/keys (a
 :class:`~repro.optimizer.constraints.Catalog`), and the signature of
 interpreted symbols.  The optimizer and the experiments run against it.
+
+Physical-layer state maintained alongside the relations (all lazy,
+all incrementally updated on :meth:`insert`, all dropped on wholesale
+replacement via ``db[name] = ...``):
+
+* **secondary hash indexes** per equality-column set — used both to
+  validate declared keys incrementally (no full-relation rescan per
+  insert batch) and to serve hash-join build sides without rebuilding;
+* **content fingerprints** (O(1), from the relation's precomputed hash)
+  keying the plan-result cache;
+* **atom sets** per relation, so :meth:`active_domain` is a union of
+  cached frozensets instead of a full value walk;
+* a :class:`~repro.engine.exec.PlanCache` of plan results, invalidated
+  per relation on every mutation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterable, Mapping as TMapping, Optional, Sequence
 
-from ..optimizer.constraints import Catalog, RelationInfo, check_key_on_instance
-from ..optimizer.plan import ExecutionResult, Plan, execute
+from ..optimizer.constraints import Catalog, RelationInfo
+from ..optimizer.plan import (
+    ExecutionResult,
+    Plan,
+    execute_reference,
+    tuple_weight,
+)
 from ..types.signatures import Signature, standard_signature
 from ..types.values import CVSet, Tup, Value, atoms_of
+from .exec import PlanCache, execute_streaming, relation_fingerprint
 
 __all__ = ["Database", "SchemaError"]
+
+_EMPTY = CVSet()
 
 
 class SchemaError(Exception):
@@ -24,12 +45,20 @@ class SchemaError(Exception):
 
 
 class Database:
-    """Named relations + schema catalog + signature."""
+    """Named relations + schema catalog + signature + physical state."""
 
-    def __init__(self, signature: Optional[Signature] = None) -> None:
+    def __init__(
+        self,
+        signature: Optional[Signature] = None,
+        cache_capacity: int = 256,
+    ) -> None:
         self.relations: dict[str, CVSet] = {}
         self.catalog = Catalog()
         self.signature = signature or standard_signature()
+        self.plan_cache = PlanCache(cache_capacity)
+        self._eq_indexes: dict[tuple[str, tuple[int, ...]], dict] = {}
+        self._atoms: dict[str, frozenset] = {}
+        self._weights: dict[str, int] = {}
 
     def create(
         self,
@@ -50,44 +79,178 @@ class Database:
         self.relations.setdefault(name, CVSet())
 
     def insert(self, name: str, rows: Iterable[Sequence[Value]]) -> None:
-        """Insert rows, validating arity and declared keys."""
+        """Insert rows, validating arity and declared keys.
+
+        Key validation is incremental: each declared key keeps a hash
+        index (built lazily on first use, validated once at build time,
+        then maintained per insert), so a batch costs O(batch) instead
+        of O(|relation|) per call.  Nothing is mutated on failure.
+        """
         if name not in self.catalog:
             raise SchemaError(f"unknown relation {name}")
         info = self.catalog[name]
-        tuples = [Tup(row) for row in rows]
+        tuples = list(dict.fromkeys(Tup(row) for row in rows))
         for t in tuples:
             if len(t) != info.arity:
                 raise SchemaError(
                     f"{name} expects arity {info.arity}, got {len(t)}: {t!r}"
                 )
-        merged = self.relations[name].union(CVSet(tuples))
         for key in info.keys:
-            if not check_key_on_instance(merged, key):
+            self._validate_key_batch(name, key, tuples)
+
+        current = self.relations[name]
+        new_rows = [t for t in tuples if t not in current]
+        if not new_rows:
+            return
+        self.relations[name] = current.union(CVSet(new_rows))
+        # Maintain every live index over this relation incrementally.
+        for (indexed_name, cols), index in self._eq_indexes.items():
+            if indexed_name == name:
+                for t in new_rows:
+                    index.setdefault(
+                        tuple(t[i] for i in cols), []
+                    ).append(t)
+        if name in self._atoms:
+            extra: set = set()
+            for t in new_rows:
+                extra |= atoms_of(t)
+            self._atoms[name] = self._atoms[name] | extra
+        if name in self._weights:
+            self._weights[name] += sum(tuple_weight(t) for t in new_rows)
+        self.plan_cache.invalidate(name)
+
+    def _validate_key_batch(
+        self, name: str, key: Sequence[int], tuples: Sequence[Tup]
+    ) -> None:
+        """Check a declared key against the maintained index + batch."""
+        key_cols = tuple(key)
+        fresh = (name, key_cols) not in self._eq_indexes
+        index = self.equality_index(name, key_cols)
+        if fresh and any(len(bucket) > 1 for bucket in index.values()):
+            # A wholesale replacement (db[name] = ...) bypassed
+            # validation; surface the violation now, as the full
+            # rescan of the old implementation would have.
+            raise SchemaError(
+                f"key {tuple(c + 1 for c in key_cols)} of {name} violated"
+            )
+        pending: dict[tuple, Tup] = {}
+        for t in tuples:
+            k = tuple(t[i] for i in key_cols)
+            bucket = index.get(k)
+            if bucket and bucket[0] != t:
                 raise SchemaError(
-                    f"key {tuple(c + 1 for c in key)} of {name} violated"
+                    f"key {tuple(c + 1 for c in key_cols)} of {name} violated"
                 )
-        self.relations[name] = merged
+            previous = pending.get(k)
+            if previous is not None and previous != t:
+                raise SchemaError(
+                    f"key {tuple(c + 1 for c in key_cols)} of {name} violated"
+                )
+            pending[k] = t
+
+    # ------------------------------------------------------------------
+    # Physical state: indexes, fingerprints, cached statistics.
+
+    def equality_index(
+        self, name: str, columns: Sequence[int]
+    ) -> dict[tuple, list[Tup]]:
+        """Hash index ``columns-value -> rows`` over a relation.
+
+        Created lazily, maintained incrementally by :meth:`insert`,
+        dropped on wholesale replacement.  Shared by key validation and
+        by the streaming executor's join build sides.
+        """
+        cols = tuple(columns)
+        index = self._eq_indexes.get((name, cols))
+        if index is None:
+            index = {}
+            for t in self.relations.get(name, _EMPTY):
+                index.setdefault(tuple(t[i] for i in cols), []).append(t)
+            self._eq_indexes[(name, cols)] = index
+        return index
+
+    def fingerprint(self, name: str) -> tuple[int, int]:
+        """O(1) content fingerprint of one relation."""
+        return relation_fingerprint(self.relations.get(name))
+
+    def relation_weight(self, name: str) -> int:
+        """Cached width-weighted size (work units to scan the relation)."""
+        weight = self._weights.get(name)
+        if weight is None:
+            weight = sum(
+                tuple_weight(t) for t in self.relations.get(name, _EMPTY)
+            )
+            self._weights[name] = weight
+        return weight
+
+    def atoms_in(self, name: str) -> frozenset:
+        """Cached atom set of one relation."""
+        atoms = self._atoms.get(name)
+        if atoms is None:
+            out: set = set()
+            for t in self.relations.get(name, _EMPTY):
+                out |= atoms_of(t)
+            atoms = frozenset(out)
+            self._atoms[name] = atoms
+        return atoms
+
+    def _invalidate_relation(self, name: str) -> None:
+        self._atoms.pop(name, None)
+        self._weights.pop(name, None)
+        for key in [k for k in self._eq_indexes if k[0] == name]:
+            del self._eq_indexes[key]
+        self.plan_cache.invalidate(name)
+
+    def _join_index(
+        self, name: str, columns: tuple[int, ...]
+    ) -> Optional[tuple[dict, int]]:
+        """The executor's ``key_index`` hook: index + scan weight."""
+        if name not in self.relations:
+            return None
+        return (
+            self.equality_index(name, columns),
+            self.relation_weight(name),
+        )
+
+    # ------------------------------------------------------------------
+    # Mapping protocol.
 
     def __getitem__(self, name: str) -> CVSet:
         return self.relations[name]
 
     def __setitem__(self, name: str, relation: CVSet) -> None:
         self.relations[name] = relation
+        self._invalidate_relation(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self.relations
 
     def active_domain(self) -> frozenset:
-        """All atoms appearing anywhere in the database."""
+        """All atoms appearing anywhere in the database.
+
+        Assembled from per-relation cached atom sets, maintained
+        incrementally on insert — no per-call value walk.
+        """
         out: set = set()
-        for relation in self.relations.values():
-            for t in relation:
-                out |= set(atoms_of(t))
+        for name in self.relations:
+            out |= self.atoms_in(name)
         return frozenset(out)
 
-    def run(self, plan: Plan) -> ExecutionResult:
-        """Execute a plan against this database."""
-        return execute(plan, self.relations)
+    # ------------------------------------------------------------------
+    # Execution.
+
+    def run(self, plan: Plan, *, use_cache: bool = True) -> ExecutionResult:
+        """Execute a plan with the streaming engine (cached by default)."""
+        return execute_streaming(
+            plan,
+            self.relations,
+            cache=self.plan_cache if use_cache else None,
+            key_index=self._join_index,
+        )
+
+    def run_reference(self, plan: Plan) -> ExecutionResult:
+        """Execute with the reference tuple-at-a-time interpreter."""
+        return execute_reference(plan, self.relations)
 
     def query(self, text: str, optimize: bool = False) -> ExecutionResult:
         """Parse and run a textual plan (see

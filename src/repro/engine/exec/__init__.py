@@ -1,0 +1,29 @@
+"""Physical execution layer: pipelined operators, hash joins, CSE and a
+fingerprint-keyed result cache.
+
+See ``docs/EXECUTION.md`` for the operator set, the cache keying and
+invalidation rules, and how work accounting maps onto the Section 4.4
+cost model.
+"""
+
+from .cache import CacheEntry, PlanCache
+from .executor import execute_streaming, subtree_counts
+from .fingerprint import (
+    plan_structural_hash,
+    relation_fingerprint,
+    result_cache_key,
+)
+from .operators import Frame, collect_frame, node_label
+
+__all__ = [
+    "CacheEntry",
+    "PlanCache",
+    "execute_streaming",
+    "subtree_counts",
+    "plan_structural_hash",
+    "relation_fingerprint",
+    "result_cache_key",
+    "Frame",
+    "collect_frame",
+    "node_label",
+]

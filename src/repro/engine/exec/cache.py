@@ -1,0 +1,120 @@
+"""Fingerprint-keyed plan-result cache with per-relation invalidation.
+
+Entries are keyed by :func:`~repro.engine.exec.fingerprint.result_cache_key`
+— structural plan identity plus the fingerprints of every base relation
+the plan reads — so a stale entry can never be *returned* (a mutated
+relation changes its fingerprint and the key no longer matches).
+Per-relation invalidation and the LRU cap exist to bound *space* and
+keep the table dense with live entries.
+
+Cached entries store the answer **and** the work ledger the streaming
+executor would have produced, so a cache hit reports costs as if the
+plan had run: the Section 4.4 cost model (``optimizer/cost.py``, the
+E-OPT experiments) keeps its meaning regardless of cache state.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Mapping as TMapping, Optional
+
+from ...optimizer.plan import Plan
+from ...types.values import CVSet
+from .fingerprint import result_cache_key
+
+__all__ = ["CacheEntry", "PlanCache"]
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """A materialized plan result: answer, total work, per-node ledger,
+    and the base relations the plan read (for invalidation)."""
+
+    value: CVSet
+    work: int
+    entries: tuple[tuple[str, int], ...]
+    relations: frozenset[str]
+
+
+class PlanCache:
+    """LRU cache of plan results with hit/miss accounting."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._by_relation: dict[str, set] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key_for(self, plan: Plan, db: TMapping[str, CVSet]):
+        return result_cache_key(plan, db)
+
+    def get(self, key) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key, entry: CacheEntry) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return
+        self._entries[key] = entry
+        for name in entry.relations:
+            self._by_relation.setdefault(name, set()).add(key)
+        while len(self._entries) > self.capacity:
+            evicted_key, evicted = self._entries.popitem(last=False)
+            for name in evicted.relations:
+                keys = self._by_relation.get(name)
+                if keys is not None:
+                    keys.discard(evicted_key)
+
+    def invalidate(self, relation: Optional[str] = None) -> None:
+        """Drop every entry reading ``relation`` (or everything)."""
+        if relation is None:
+            self._entries.clear()
+            self._by_relation.clear()
+            return
+        for key in self._by_relation.pop(relation, ()):
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                continue
+            for name in entry.relations:
+                if name != relation:
+                    keys = self._by_relation.get(name)
+                    if keys is not None:
+                        keys.discard(key)
+
+    def clear(self) -> None:
+        self.invalidate(None)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )

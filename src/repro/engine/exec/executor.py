@@ -1,0 +1,229 @@
+"""The streaming plan executor.
+
+Replaces the tuple-at-a-time recursive interpreter
+(:func:`repro.optimizer.plan.execute_reference`) with a physical
+pipeline:
+
+* **Pipelining** — unary operators and ``Union`` stream tuple by tuple;
+  a single pass flows from the scans to the root with no intermediate
+  ``CVSet`` construction (no re-hashing whole relations at every level).
+  Materialization happens only at pipeline breakers: hash-build sides of
+  ``Difference``/``Intersect``/``Product``/``Join``, and the root.
+* **Common-subexpression elimination** — structurally identical subtrees
+  (plan nodes are frozen dataclasses, so subtree equality is structural)
+  are detected up front; a repeated subtree executes once and later
+  occurrences replay its materialized result.  Its work ledger is
+  *spliced* per occurrence, so reported work is exactly what the
+  reference interpreter charges.
+* **Result caching** — with a :class:`~repro.engine.exec.cache.PlanCache`
+  attached, every non-``Scan`` node consults the cache (keyed by
+  structural plan + base-relation fingerprints) before compiling, and
+  every node that gets materialized anyway (root, CSE duplicates, hash
+  build sides) populates it.  The invariance/classification experiments
+  re-run identical sub-plans thousands of times; hits skip execution
+  entirely while still reporting as-if-executed work.
+* **Index reuse** — single-pair joins whose build side is a bare scan
+  can borrow the database's incrementally-maintained secondary hash
+  index instead of rebuilding it per query (``key_index`` hook).
+
+The executor's contract, enforced by the equivalence property tests:
+identical ``CVSet`` answer, identical total work, and identical
+per-node ledger (same labels, same postorder) as the reference
+interpreter, for every plan over every database.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterator, Mapping as TMapping, Optional
+
+from ...optimizer.constraints import base_relations
+from ...optimizer.plan import (
+    Difference,
+    ExecutionResult,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
+from ...types.values import CVSet, Value
+from .cache import CacheEntry, PlanCache
+from .fingerprint import result_cache_key
+from .operators import (
+    Frame,
+    collect_frame,
+    difference_gen,
+    intersect_gen,
+    join_gen,
+    map_gen,
+    node_label,
+    product_gen,
+    project_gen,
+    select_gen,
+    union_gen,
+)
+
+__all__ = ["execute_streaming", "subtree_counts"]
+
+_EMPTY = CVSet()
+
+#: ``key_index(name, columns)`` returns ``(index, relation_weight)`` for
+#: a maintained secondary hash index, or ``None`` when unavailable.
+KeyIndex = Callable[[str, tuple[int, ...]], Optional[tuple[dict, int]]]
+
+
+def subtree_counts(plan: Plan) -> Counter:
+    """Occurrence count of every subtree, by structural equality."""
+    counts: Counter = Counter()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        counts[node] += 1
+        stack.extend(node.children())
+    return counts
+
+
+def execute_streaming(
+    plan: Plan,
+    db: TMapping[str, CVSet],
+    *,
+    cache: Optional[PlanCache] = None,
+    key_index: Optional[KeyIndex] = None,
+) -> ExecutionResult:
+    """Evaluate ``plan`` over ``db`` with the streaming engine.
+
+    Returns an :class:`ExecutionResult` identical (value, work,
+    per-node ledger) to :func:`repro.optimizer.plan.execute_reference`.
+    """
+    counts = subtree_counts(plan)
+    memo: dict[Plan, CacheEntry] = {}
+
+    def compile_node(
+        node: Plan,
+        parent: Optional[Frame],
+        build_side: bool = False,
+        top: bool = False,
+    ) -> tuple[Iterator[Value], Frame]:
+        frame = Frame(node_label(node))
+        if parent is not None:
+            parent.children.append(frame)
+
+        entry = memo.get(node)
+        if entry is None and cache is not None and not isinstance(node, Scan):
+            entry = cache.get(result_cache_key(node, db))
+            if entry is not None:
+                memo[node] = entry
+        if entry is not None:
+            frame.spliced = (entry.work, entry.entries)
+            return iter(entry.value), frame
+
+        materialize = not isinstance(node, Scan) and (
+            counts[node] > 1 or (build_side and cache is not None)
+        )
+        # Emit-dedup is redundant where the consumer is a ``CVSet``
+        # constructor (materialization points and the root): the set
+        # build dedups anyway, so skip the per-tuple seen-set there.
+        gen = _operator(node, frame, dedup=not (materialize or top))
+        if materialize:
+            value = CVSet(gen)
+            work, entries = collect_frame(frame)
+            entry = CacheEntry(
+                value, work, tuple(entries), base_relations(node)
+            )
+            memo[node] = entry
+            if cache is not None:
+                cache.put(result_cache_key(node, db), entry)
+            return iter(value), frame
+        return gen, frame
+
+    def _operator(node: Plan, frame: Frame, dedup: bool) -> Iterator[Value]:
+        if isinstance(node, Scan):
+            return iter(db.get(node.relation, _EMPTY))
+        if isinstance(node, Project):
+            child, _ = compile_node(node.child, frame)
+            return project_gen(child, node.columns, frame, dedup)
+        if isinstance(node, Select):
+            child, _ = compile_node(node.child, frame)
+            return select_gen(child, node.predicate, frame)
+        if isinstance(node, MapNode):
+            child, _ = compile_node(node.child, frame)
+            return map_gen(child, node.fn, frame, dedup)
+        if isinstance(node, (Union, Difference, Intersect)):
+            if type(node.left) is Scan and type(node.right) is Scan:
+                return _bulk_set_op(node, frame)
+        if isinstance(node, Union):
+            left, _ = compile_node(node.left, frame)
+            right, _ = compile_node(node.right, frame)
+            return union_gen(left, right, frame, dedup)
+        if isinstance(node, Difference):
+            left, _ = compile_node(node.left, frame)
+            right, _ = compile_node(node.right, frame, build_side=True)
+            return difference_gen(left, right, frame)
+        if isinstance(node, Intersect):
+            left, _ = compile_node(node.left, frame)
+            right, _ = compile_node(node.right, frame, build_side=True)
+            return intersect_gen(left, right, frame)
+        if isinstance(node, Product):
+            left, _ = compile_node(node.left, frame)
+            right, _ = compile_node(node.right, frame, build_side=True)
+            return product_gen(left, right, frame, dedup)
+        if isinstance(node, Join):
+            left, _ = compile_node(node.left, frame)
+            prebuilt = _prebuilt_join_index(node)
+            if prebuilt is not None:
+                # Log the scan child for ledger parity with the
+                # reference even though it is never re-read.
+                frame.children.append(Frame(node_label(node.right)))
+                right: Iterator[Value] = iter(())
+            else:
+                right, _ = compile_node(node.right, frame, build_side=True)
+            return join_gen(
+                node.on, left, right, frame, prebuilt=prebuilt, dedup=dedup
+            )
+        raise TypeError(f"unknown plan node: {node!r}")
+
+    def _bulk_set_op(node: Plan, frame: Frame) -> Iterator[Value]:
+        """Set operation over two bare scans: both inputs are already
+        materialized, so a C-level frozenset op beats any per-tuple
+        Python loop.  Work and ledger are charged exactly as the
+        streaming operators would."""
+        left = db.get(node.left.relation, _EMPTY)
+        right = db.get(node.right.relation, _EMPTY)
+        frame.children.append(Frame(node_label(node.left)))
+        frame.children.append(Frame(node_label(node.right)))
+        frame.work += sum(max(len(t), 1) for t in left) + sum(
+            max(len(t), 1) for t in right
+        )
+        if isinstance(node, Union):
+            return iter(left.union(right))
+        if isinstance(node, Difference):
+            return iter(left.difference(right))
+        return iter(left.intersection(right))
+
+    def _prebuilt_join_index(node: Join) -> Optional[tuple[dict, int]]:
+        if (
+            key_index is None
+            or len(node.on) != 1
+            or not isinstance(node.right, Scan)
+        ):
+            return None
+        right_cols = tuple(j for _, j in node.on)
+        return key_index(node.right.relation, right_cols)
+
+    root_iter, root_frame = compile_node(plan, None, top=True)
+    entry = memo.get(plan)
+    if entry is not None:  # root served from cache or materialized
+        return ExecutionResult(entry.value, entry.work, list(entry.entries))
+    value = CVSet(root_iter)
+    work, entries = collect_frame(root_frame)
+    if cache is not None and not isinstance(plan, Scan):
+        cache.put(
+            result_cache_key(plan, db),
+            CacheEntry(value, work, tuple(entries), base_relations(plan)),
+        )
+    return ExecutionResult(value=value, work=work, per_node=entries)

@@ -1,0 +1,60 @@
+"""Fingerprints for relations and plans — the result-cache key.
+
+A cached plan result may be reused only when (a) the plan is
+*structurally identical* and (b) every base relation it reads has the
+same contents.  Both checks must be cheap:
+
+* plans are frozen dataclasses whose equality/hash ignore the attached
+  callables and compare by *name* (``Select.predicate_name``,
+  ``MapNode.fn_name``), so a plan is its own structural key.  The
+  standing invariant — already relied on by the rewriter's rule trace —
+  is that a predicate/function name identifies its semantics within one
+  cache's lifetime;
+* :class:`~repro.types.values.CVSet` precomputes its hash at
+  construction, so a relation fingerprint ``(cardinality, hash)`` is an
+  O(1) lookup, not a rescan.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping as TMapping, Optional
+
+from ...optimizer.constraints import base_relations
+from ...optimizer.plan import Plan
+from ...types.values import CVSet
+
+__all__ = [
+    "relation_fingerprint",
+    "plan_structural_hash",
+    "result_cache_key",
+]
+
+_EMPTY = CVSet()
+
+
+def relation_fingerprint(relation: Optional[CVSet]) -> tuple[int, int]:
+    """A cheap content fingerprint: ``(cardinality, precomputed hash)``.
+
+    Missing relations fingerprint as the empty set, matching the
+    executor's ``db.get(name, CVSet())`` semantics.
+    """
+    if relation is None:
+        relation = _EMPTY
+    return (len(relation), hash(relation))
+
+
+def plan_structural_hash(plan: Plan) -> int:
+    """Structural hash of a plan tree (callables excluded by design)."""
+    return hash(plan)
+
+
+def result_cache_key(
+    plan: Plan, db: TMapping[str, CVSet]
+) -> tuple[Plan, tuple[tuple[str, tuple[int, int]], ...]]:
+    """Cache key: the plan itself plus fingerprints of every base
+    relation it reads, in sorted name order."""
+    names = sorted(base_relations(plan))
+    return (
+        plan,
+        tuple((name, relation_fingerprint(db.get(name))) for name in names),
+    )

@@ -17,6 +17,18 @@ from __future__ import annotations
 import random
 from typing import Optional, Sequence
 
+from ..optimizer.plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Plan,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+)
 from ..types.values import CVSet, Tup, Value
 from .database import Database
 
@@ -29,6 +41,7 @@ __all__ = [
     "paper_h_pairs",
     "hr_database",
     "random_database",
+    "random_plan",
 ]
 
 
@@ -131,6 +144,110 @@ def hr_database(
         ],
     )
     return db
+
+
+def _is_plain_int(v: Value) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+#: Named predicates/functions for random plans.  Names identify
+#: semantics — the invariant the plan-result cache and the rewriter's
+#: rule trace both rely on.
+_PREDICATES = {
+    "always": lambda t: True,
+    "first_even": lambda t: _is_plain_int(t[0]) and t[0] % 2 == 0,
+    "first_small": lambda t: _is_plain_int(t[0]) and t[0] < 3,
+}
+_PREDICATES_WIDE = dict(
+    _PREDICATES, first_two_equal=lambda t: t[0] == t[1]
+)
+
+
+def _map_swap(t: Tup) -> Tup:
+    return Tup(tuple(t)[::-1])
+
+
+def _map_dup_first(t: Tup) -> Tup:
+    return Tup((t[0],) + tuple(t))
+
+
+def _map_first_only(t: Tup) -> Tup:
+    return Tup((t[0],))
+
+
+def random_plan(
+    rng: random.Random,
+    names: Sequence[str],
+    *,
+    base_arity: int = 2,
+    depth: int = 3,
+    arity: Optional[int] = None,
+) -> Plan:
+    """A random logical plan over the named base relations.
+
+    Exercises every node type — including multi-pair and empty-``on``
+    joins, non-injective maps, and duplicated-column projections — while
+    tracking arities so union-compatible operators get matching inputs.
+    Used by the executor-equivalence property tests and benchmarks.
+    """
+    target = arity if arity is not None else rng.randint(1, 3)
+
+    def leaf(want: int) -> Plan:
+        scan = Scan(rng.choice(list(names)))
+        if want == base_arity and rng.random() < 0.7:
+            return scan
+        columns = tuple(rng.randrange(base_arity) for _ in range(want))
+        return Project(columns, scan)
+
+    def gen(levels: int, want: int) -> Plan:
+        if levels <= 0:
+            return leaf(want)
+        choices = ["project", "select", "union", "difference", "intersect"]
+        choices.append("map_swap")
+        if want >= 2:
+            choices += ["product", "join", "map_dup"]
+        if want == 1:
+            choices.append("map_first")
+        kind = rng.choice(choices)
+        if kind == "project":
+            child_arity = rng.randint(1, 3)
+            child = gen(levels - 1, child_arity)
+            columns = tuple(
+                rng.randrange(child_arity) for _ in range(want)
+            )
+            return Project(columns, child)
+        if kind == "select":
+            pool = _PREDICATES_WIDE if want >= 2 else _PREDICATES
+            name = rng.choice(sorted(pool))
+            return Select(name, pool[name], gen(levels - 1, want))
+        if kind == "map_swap":
+            return MapNode("swap", _map_swap, gen(levels - 1, want),
+                           injective=True)
+        if kind == "map_dup":
+            return MapNode("dup_first", _map_dup_first,
+                           gen(levels - 1, want - 1), injective=True)
+        if kind == "map_first":
+            return MapNode("first_only", _map_first_only,
+                           gen(levels - 1, rng.randint(1, 3)))
+        if kind == "union":
+            return Union(gen(levels - 1, want), gen(levels - 1, want))
+        if kind == "difference":
+            return Difference(gen(levels - 1, want), gen(levels - 1, want))
+        if kind == "intersect":
+            return Intersect(gen(levels - 1, want), gen(levels - 1, want))
+        left_arity = rng.randint(1, want - 1)
+        right_arity = want - left_arity
+        left = gen(levels - 1, left_arity)
+        right = gen(levels - 1, right_arity)
+        if kind == "product":
+            return Product(left, right)
+        pairs = tuple(
+            (rng.randrange(left_arity), rng.randrange(right_arity))
+            for _ in range(rng.randint(0, min(left_arity, right_arity)))
+        )
+        return Join(pairs, left, right)
+
+    return gen(depth, target)
 
 
 def random_database(

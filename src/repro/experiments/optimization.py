@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import random
 
+from ..engine.exec import PlanCache
 from ..engine.workload import hr_database, random_database
 from ..optimizer.plan import (
     Difference,
@@ -77,11 +78,16 @@ def opt_4_4(seed: int = 0, verification_dbs: int = 60) -> ExperimentResult:
     plan4 = Project((0,), Difference(Scan("employees"), Scan("contractors")))
     cases.append(("project-through-diff (no key)", plan4, False, random_dbs))
 
+    # One result cache across all verification sweeps: the cases share
+    # sub-plans and databases, so identical sub-plan executions are
+    # computed once (fingerprint keys keep it sound across databases).
+    cache = PlanCache(capacity=4096)
     for label, plan, expect_fire, verification in cases:
         rewriter = Rewriter(db.catalog)
         optimized = rewriter.optimize(plan)
         fired = bool(rewriter.trace)
-        counterexample = verify_equivalence(plan, optimized, verification)
+        counterexample = verify_equivalence(plan, optimized, verification,
+                                            cache=cache)
         equivalent = counterexample is None
         result.add(label, fired, equivalent, "fires" if expect_fire else "skips")
         result.require(fired == expect_fire, f"{label}: rule firing")
@@ -92,7 +98,8 @@ def opt_4_4(seed: int = 0, verification_dbs: int = 60) -> ExperimentResult:
         Project((0,), Scan("employees")),
         Project((0,), Scan("contractors")),
     )
-    counterexample = verify_equivalence(plan4, unsound, random_dbs)
+    counterexample = verify_equivalence(plan4, unsound, random_dbs,
+                                        cache=cache)
     result.add("unsound diff-push detected", "forced", counterexample is not None,
                "caught")
     result.require(counterexample is not None,

@@ -79,6 +79,10 @@ def classify(
     in_type = instantiate_at(query.input_type, base)
     out_type = instantiate_at(query.output_type, base)
     verdicts: list[Verdict] = []
+    # One memo for the whole lattice sweep: every cell re-applies the
+    # same pure query to overlapping inputs (queries are deterministic),
+    # so outputs are shared across (spec, mode) cells.
+    fn_cache: dict = {}
     for spec in lattice:
         for mode in modes:
             result: SearchResult = find_counterexample(
@@ -91,6 +95,7 @@ def classify(
                 signature=signature,
                 input_type=in_type,
                 output_type=out_type,
+                fn_cache=fn_cache,
             )
             if result.found:
                 verified = verify_witness(

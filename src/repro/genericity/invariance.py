@@ -267,6 +267,7 @@ def check_invariance(
     output_type: Optional[Type] = None,
     base: Optional[BaseType] = None,
     rng: Optional[random.Random] = None,
+    fn_cache: Optional[dict] = None,
 ) -> InvarianceReport:
     """Check Definition 2.9 empirically on the supplied inputs.
 
@@ -275,6 +276,11 @@ def check_invariance(
     then compared under the extension at the output type.  Inputs for
     which no partner exists are *skipped*, mirroring the paper's "for
     any two legal inputs ... if H^x(R1, R2) holds".
+
+    ``fn_cache`` (a plain dict, shared by the caller across many
+    checks) memoizes ``query.fn`` per input value — the classification
+    sweep re-applies the same query to the same instances across every
+    lattice cell, and queries are pure, so recomputation is pure waste.
     """
     rng = rng or random.Random(0)
     if base is None:
@@ -286,6 +292,17 @@ def check_invariance(
     in_rel = family.extend(in_type, mode)
     out_rel = family.extend(out_type, mode)
 
+    def apply_query(v: Value) -> Value:
+        if fn_cache is None:
+            return query.fn(v)
+        key = (query.name, v)
+        try:
+            return fn_cache[key]
+        except KeyError:
+            out = query.fn(v)
+            fn_cache[key] = out
+            return out
+
     report = InvarianceReport(query_name=query.name, mode=mode)
     for value in inputs:
         pair = related_pair(in_rel, value, mode, rng)
@@ -293,7 +310,7 @@ def check_invariance(
             report.pairs_skipped += 1
             continue
         r1, r2 = pair
-        out1, out2 = query.fn(r1), query.fn(r2)
+        out1, out2 = apply_query(r1), apply_query(r2)
         report.pairs_checked += 1
         if not out_rel.holds(out1, out2):
             report.witness = Witness(

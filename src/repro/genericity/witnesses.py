@@ -62,6 +62,7 @@ def find_counterexample(
     input_type: Optional[Type] = None,
     output_type: Optional[Type] = None,
     fixed_inputs: Optional[Sequence[Value]] = None,
+    fn_cache: Optional[dict] = None,
 ) -> SearchResult:
     """Search for an invariance violation of ``query`` against ``spec``.
 
@@ -97,6 +98,7 @@ def find_counterexample(
             output_type=out_type,
             base=base,
             rng=rng,
+            fn_cache=fn_cache,
         )
         pairs_checked += report.pairs_checked
         if report.witness is not None:

@@ -20,6 +20,8 @@ from .plan import (
     Select,
     Union,
     execute,
+    execute_reference,
+    tuple_weight,
 )
 from .cost import Estimate, Stats, choose_plan, estimate
 from .parser import PlanParseError, parse_plan

@@ -27,6 +27,8 @@ __all__ = [
     "MapNode",
     "ExecutionResult",
     "execute",
+    "execute_reference",
+    "tuple_weight",
 ]
 
 
@@ -195,6 +197,18 @@ class MapNode(Plan):
         return f"map[{self.fn_name}]({self.child})"
 
 
+def tuple_weight(t: Value) -> int:
+    """Per-tuple width weight: atoms consumed when reading one tuple.
+
+    The streaming executor (:mod:`repro.engine.exec`) charges this per
+    consumed tuple, matching :func:`_weight` below so both executors
+    report costs under the identical work model."""
+    try:
+        return max(len(t), 1)
+    except TypeError:  # atoms produced by map(f) weigh 1
+        return 1
+
+
 def _weight(relation: CVSet) -> int:
     """Width-weighted size: total atoms consumed when reading a relation.
 
@@ -300,3 +314,9 @@ def execute(plan: Plan, db: TMapping[str, CVSet]) -> ExecutionResult:
 
     value, work = run(plan)
     return ExecutionResult(value=value, work=work, per_node=log)
+
+
+#: The tuple-at-a-time recursive interpreter above is the *semantic
+#: reference*: every physical executor (see :mod:`repro.engine.exec`)
+#: must return the same ``CVSet`` and the same work counts.
+execute_reference = execute

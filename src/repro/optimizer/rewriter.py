@@ -90,10 +90,23 @@ def verify_equivalence(
     original: Plan,
     rewritten: Plan,
     databases: Sequence[TMapping[str, CVSet]],
+    cache=None,
 ) -> Optional[TMapping[str, CVSet]]:
     """Check both plans agree on every database; return the first
-    disagreeing database (a counterexample) or ``None``."""
+    disagreeing database (a counterexample) or ``None``.
+
+    Runs on the streaming executor; pass a shared
+    :class:`~repro.engine.exec.PlanCache` so sub-plans common to both
+    plans (and to other verification sweeps over the same databases)
+    execute once.
+    """
+    # Imported lazily: repro.engine imports this module at package
+    # init, so a top-level import would be circular.
+    from ..engine.exec import execute_streaming
+
     for db in databases:
-        if execute(original, db).value != execute(rewritten, db).value:
+        original_value = execute_streaming(original, db, cache=cache).value
+        rewritten_value = execute_streaming(rewritten, db, cache=cache).value
+        if original_value != rewritten_value:
             return db
     return None

@@ -156,34 +156,33 @@ class CVSet:
 class CVBag:
     """A finite bag (multiset) value, hashable."""
 
-    __slots__ = ("_counts", "_hash")
+    __slots__ = ("_counts", "_dict", "_len", "_hash")
 
     def __init__(self, items: Iterable[Value] = ()) -> None:
         counts = Counter(items)
+        self._dict = dict(counts)
+        self._len = sum(counts.values())
         self._counts = frozenset(counts.items())
         self._hash = hash(("CVBag", self._counts))
 
     def __iter__(self) -> Iterator[Value]:
-        for v, n in self._counts:
+        for v, n in self._dict.items():
             for _ in range(n):
                 yield v
 
     def __len__(self) -> int:
-        return sum(n for _, n in self._counts)
+        return self._len
 
     def __contains__(self, v: Value) -> bool:
-        return self.count(v) > 0
+        return v in self._dict
 
     def count(self, v: Value) -> int:
-        """Multiplicity of ``v`` in the bag."""
-        for item, n in self._counts:
-            if item == v:
-                return n
-        return 0
+        """Multiplicity of ``v`` in the bag — O(1) dict lookup."""
+        return self._dict.get(v, 0)
 
     def support(self) -> frozenset:
         """The set of distinct elements."""
-        return frozenset(v for v, _ in self._counts)
+        return frozenset(self._dict)
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, CVBag) and self._counts == other._counts
@@ -261,10 +260,25 @@ def cvlist(*items: Value) -> CVList:
     return CVList(items)
 
 
+#: Memo for :func:`atoms_of` on container values.  Values are immutable
+#: and hashable, so entries can never go stale; the table is cleared
+#: wholesale when it grows past the cap (cheap, and correct).
+_ATOMS_MEMO: dict = {}
+_ATOMS_MEMO_MAX = 8192
+
+
 def atoms_of(v: Value) -> frozenset:
-    """All atoms occurring anywhere inside ``v`` (the active domain seed)."""
+    """All atoms occurring anywhere inside ``v`` (the active domain seed).
+
+    Container results are memoized so repeated active-domain sweeps over
+    large nested values (the invariance experiments re-walk the same
+    instances thousands of times) are O(1) after the first visit.
+    """
     if is_atom(v):
         return frozenset({v})
+    cached = _ATOMS_MEMO.get(v)
+    if cached is not None:
+        return cached
     out: set = set()
     if isinstance(v, CVBag):
         items: Iterable[Value] = v.support()
@@ -272,7 +286,11 @@ def atoms_of(v: Value) -> frozenset:
         items = v
     for item in items:
         out |= atoms_of(item)
-    return frozenset(out)
+    result = frozenset(out)
+    if len(_ATOMS_MEMO) >= _ATOMS_MEMO_MAX:
+        _ATOMS_MEMO.clear()
+    _ATOMS_MEMO[v] = result
+    return result
 
 
 def value_depth(v: Value) -> int:

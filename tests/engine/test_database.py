@@ -75,3 +75,51 @@ class TestOperations:
         plain = db.query("pi[1](people U people)")
         optimized = db.query("pi[1](people U people)", optimize=True)
         assert plain.value == optimized.value
+
+
+class TestIncrementalMaintenance:
+    """Physical state maintained incrementally on insert (PR 1)."""
+
+    def test_key_validated_incrementally_against_index(self, db):
+        # Index exists after the first validated insert...
+        db.insert("people", [(3, "cyd")])
+        assert ("people", (0,)) in db._eq_indexes
+        # ...and a conflicting batch is rejected without mutating.
+        with pytest.raises(SchemaError):
+            db.insert("people", [(4, "dan"), (3, "not-cyd")])
+        assert len(db["people"]) == 3
+
+    def test_batch_internal_key_conflict_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.insert("people", [(7, "x"), (7, "y")])
+        assert len(db["people"]) == 2
+
+    def test_setitem_violation_caught_on_next_insert(self, db):
+        from repro.types.values import CVSet
+        from repro.types.values import tup as t
+        db["people"] = CVSet([t(1, "ada"), t(1, "imposter")])
+        with pytest.raises(SchemaError):
+            db.insert("people", [(5, "eve")])
+
+    def test_active_domain_incremental(self, db):
+        assert db.active_domain() == frozenset({1, 2, "ada", "bob"})
+        db.insert("people", [(3, "cyd")])
+        assert db.active_domain() == frozenset({1, 2, 3, "ada", "bob", "cyd"})
+        db["people"] = cvset(tup(9, "zoe"))
+        assert db.active_domain() == frozenset({9, "zoe"})
+
+    def test_equality_index_maintained_on_insert(self, db):
+        index = db.equality_index("people", (0,))
+        assert set(index) == {(1,), (2,)}
+        db.insert("people", [(3, "cyd")])
+        assert set(db.equality_index("people", (0,))) == {(1,), (2,), (3,)}
+
+    def test_fingerprint_changes_with_content(self, db):
+        before = db.fingerprint("people")
+        db.insert("people", [(3, "cyd")])
+        assert db.fingerprint("people") != before
+
+    def test_relation_weight_incremental(self, db):
+        assert db.relation_weight("people") == 4
+        db.insert("people", [(3, "cyd")])
+        assert db.relation_weight("people") == 6

@@ -169,3 +169,38 @@ class TestStructuralHelpers:
     def test_map_atoms_collapse_in_sets(self):
         # Non-injective atom maps can shrink sets.
         assert map_atoms(cvset(1, 2), lambda _x: 0) == cvset(0)
+
+
+class TestBagFastPaths:
+    """CVBag keeps a dict beside the frozenset: count/contains are O(1)."""
+
+    def test_count_and_contains_agree_with_iteration(self):
+        import random
+        rng = random.Random(0)
+        items = [rng.randrange(50) for _ in range(300)]
+        bag = cvbag(*items)
+        for v in range(50):
+            assert bag.count(v) == items.count(v)
+            assert (v in bag) == (items.count(v) > 0)
+        assert len(bag) == len(items)
+
+    def test_bool_int_identification_preserved(self):
+        # Counter merges True and 1 (hash/eq identified); the dict-backed
+        # fast path must agree with the old linear scan's semantics.
+        bag = cvbag(True, 1, 1)
+        assert bag.count(1) == 3
+        assert bag.count(True) == 3
+
+    def test_hash_equality_unchanged(self):
+        assert cvbag(1, 2, 2) == cvbag(2, 1, 2)
+        assert hash(cvbag(1, 2, 2)) == hash(cvbag(2, 1, 2))
+        assert cvbag(1, 2) != cvbag(1, 2, 2)
+
+
+class TestAtomsMemo:
+    def test_atoms_of_memoized_result_is_stable(self):
+        v = cvset(tup(1, cvlist(2, 3)), cvbag("a", "a"))
+        first = atoms_of(v)
+        second = atoms_of(v)
+        assert first == second == frozenset({1, 2, 3, "a"})
+        assert first is second  # served from the memo
