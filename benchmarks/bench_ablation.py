@@ -11,7 +11,7 @@ import random
 import pytest
 
 from repro.engine.workload import hr_database
-from repro.optimizer.cost import Stats, choose_plan, estimate
+from repro.optimizer.cost import Stats, estimate
 from repro.optimizer.parser import parse_plan
 from repro.optimizer.rewriter import Rewriter
 from repro.optimizer.rules import DEFAULT_RULES

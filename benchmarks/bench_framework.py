@@ -23,14 +23,13 @@ from repro.mappings.generators import (
     random_mapping_in_class,
     random_relation_value,
 )
-from repro.engine.exec import PlanCache, execute_streaming
+from repro.engine.exec import execute_streaming
 from repro.engine.workload import random_database, random_plan
 from repro.optimizer.plan import (
     Difference,
     Join,
     Project,
     Scan,
-    execute,
     execute_reference,
 )
 from repro.optimizer.rewriter import Rewriter

@@ -7,7 +7,6 @@ table so `pytest benchmarks/ --benchmark-only` output doubles as the
 results appendix (EXPERIMENTS.md is generated from the same runs).
 """
 
-import pytest
 
 from repro.experiments.registry import run
 from repro.experiments.report import render

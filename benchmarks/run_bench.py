@@ -35,8 +35,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine.database import Database  # noqa: E402
-from repro.engine.exec import PlanCache, execute_streaming  # noqa: E402
+from repro.engine.exec import execute_streaming
 from repro.engine.workload import (  # noqa: E402
     hr_database,
     random_database,

@@ -20,7 +20,7 @@ from repro.lambda2 import (
 )
 from repro.types.ast import INT
 from repro.types.parser import parse_type
-from repro.types.values import Tup, cvlist
+from repro.types.values import cvlist
 
 
 def main() -> None:

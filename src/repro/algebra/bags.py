@@ -25,7 +25,7 @@ from collections import Counter
 from typing import Callable, Sequence
 
 from ..types.ast import BagType, Product, SetType, TypeVar
-from ..types.values import CVBag, CVSet, Tup, Value
+from ..types.values import CVBag, CVSet, Value
 from .query import Query
 
 __all__ = [

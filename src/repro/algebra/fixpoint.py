@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..types.values import CVSet, Value
+from ..types.values import Value
 from .query import Query
 
 __all__ = ["inflationary_fixpoint", "while_query", "transitive_closure"]

@@ -14,18 +14,11 @@ closure properties Section 3 classifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Optional
+from dataclasses import dataclass
+from typing import Callable
 
-from ..types.ast import (
-    Product,
-    SetType,
-    Type,
-    TypeVar,
-    free_type_vars,
-    substitute,
-)
-from ..types.values import CVSet, Tup, Value
+from ..types.ast import Product, Type, TypeVar, substitute
+from ..types.values import Tup, Value
 
 __all__ = ["Query", "compose", "pair_query", "constant_query"]
 

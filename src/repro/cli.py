@@ -7,6 +7,7 @@
     python -m repro run --all
     python -m repro classify sigma_eq         # classify a named operation
     python -m repro optimize "pi[1](employees - students)"
+    python -m repro fuzz --seeds 200          # streaming-vs-reference fuzz
     python -m repro writeup [path]            # regenerate EXPERIMENTS.md
 
 ``classify`` accepts the named operations of the built-in catalog;
@@ -137,6 +138,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from .engine.fuzz import run_fuzz
+
+    scenarios = tuple(args.scenarios) if args.scenarios else None
+    report = run_fuzz(
+        args.seeds,
+        base_seed=args.base_seed,
+        deep_every=args.deep_every,
+        scenarios=scenarios,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_writeup(args: argparse.Namespace) -> int:
     from .experiments.writeup import main as writeup_main
 
@@ -174,6 +189,22 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--seed", type=int, default=0)
     optimize_parser.add_argument("--show-rows", type=int, default=0)
     optimize_parser.set_defaults(fn=_cmd_optimize)
+
+    fuzz_parser = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the streaming engine vs the reference",
+    )
+    fuzz_parser.add_argument("--seeds", type=int, default=50)
+    fuzz_parser.add_argument("--base-seed", type=int, default=0)
+    fuzz_parser.add_argument(
+        "--deep-every", type=int, default=10,
+        help="run the deep-chain scenario every Nth seed (0 disables)",
+    )
+    fuzz_parser.add_argument(
+        "--scenarios", nargs="*", default=None,
+        help="restrict to named scenarios (default: all)",
+    )
+    fuzz_parser.set_defaults(fn=_cmd_fuzz)
 
     writeup_parser = sub.add_parser(
         "writeup", help="regenerate EXPERIMENTS.md"

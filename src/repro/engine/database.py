@@ -22,7 +22,7 @@ replacement via ``db[name] = ...``):
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping as TMapping, Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from ..optimizer.constraints import Catalog, RelationInfo
 from ..optimizer.plan import (
@@ -56,7 +56,10 @@ class Database:
         self.catalog = Catalog()
         self.signature = signature or standard_signature()
         self.plan_cache = PlanCache(cache_capacity)
-        self._eq_indexes: dict[tuple[str, tuple[int, ...]], dict] = {}
+        #: ``relation name -> {column tuple -> hash index}``.  Scoped
+        #: per relation so insert-time maintenance touches only the
+        #: inserted relation's indexes, not every live index.
+        self._eq_indexes: dict[str, dict[tuple[int, ...], dict]] = {}
         self._atoms: dict[str, frozenset] = {}
         self._weights: dict[str, int] = {}
 
@@ -103,13 +106,11 @@ class Database:
         if not new_rows:
             return
         self.relations[name] = current.union(CVSet(new_rows))
-        # Maintain every live index over this relation incrementally.
-        for (indexed_name, cols), index in self._eq_indexes.items():
-            if indexed_name == name:
-                for t in new_rows:
-                    index.setdefault(
-                        tuple(t[i] for i in cols), []
-                    ).append(t)
+        # Maintain this relation's live indexes incrementally; other
+        # relations' indexes are never even iterated.
+        for cols, index in self._eq_indexes.get(name, {}).items():
+            for t in new_rows:
+                index.setdefault(tuple(t[i] for i in cols), []).append(t)
         if name in self._atoms:
             extra: set = set()
             for t in new_rows:
@@ -124,7 +125,7 @@ class Database:
     ) -> None:
         """Check a declared key against the maintained index + batch."""
         key_cols = tuple(key)
-        fresh = (name, key_cols) not in self._eq_indexes
+        fresh = key_cols not in self._eq_indexes.get(name, {})
         index = self.equality_index(name, key_cols)
         if fresh and any(len(bucket) > 1 for bucket in index.values()):
             # A wholesale replacement (db[name] = ...) bypassed
@@ -161,12 +162,13 @@ class Database:
         by the streaming executor's join build sides.
         """
         cols = tuple(columns)
-        index = self._eq_indexes.get((name, cols))
+        per_relation = self._eq_indexes.setdefault(name, {})
+        index = per_relation.get(cols)
         if index is None:
             index = {}
             for t in self.relations.get(name, _EMPTY):
                 index.setdefault(tuple(t[i] for i in cols), []).append(t)
-            self._eq_indexes[(name, cols)] = index
+            per_relation[cols] = index
         return index
 
     def fingerprint(self, name: str) -> tuple[int, int]:
@@ -197,8 +199,7 @@ class Database:
     def _invalidate_relation(self, name: str) -> None:
         self._atoms.pop(name, None)
         self._weights.pop(name, None)
-        for key in [k for k in self._eq_indexes if k[0] == name]:
-            del self._eq_indexes[key]
+        self._eq_indexes.pop(name, None)
         self.plan_cache.invalidate(name)
 
     def _join_index(

@@ -1,28 +1,37 @@
 """Physical execution layer: pipelined operators, hash joins, CSE and a
-fingerprint-keyed result cache.
+semantically-keyed result cache.
 
 See ``docs/EXECUTION.md`` for the operator set, the cache keying and
-invalidation rules, and how work accounting maps onto the Section 4.4
-cost model.
+invalidation rules (including the callable registry that enforces the
+predicate-name invariant), deep-plan safety, and how work accounting
+maps onto the Section 4.4 cost model.
 """
 
-from .cache import CacheEntry, PlanCache
-from .executor import execute_streaming, subtree_counts
+from .cache import CacheEntry, CacheInvariantError, PlanCache
+from .executor import MAX_PIPELINE_DEPTH, execute_streaming, subtree_counts
 from .fingerprint import (
+    annotate_plan,
+    callable_identity,
     plan_structural_hash,
     relation_fingerprint,
     result_cache_key,
+    semantic_cache_key,
 )
 from .operators import Frame, collect_frame, node_label
 
 __all__ = [
     "CacheEntry",
+    "CacheInvariantError",
     "PlanCache",
+    "MAX_PIPELINE_DEPTH",
     "execute_streaming",
     "subtree_counts",
+    "annotate_plan",
+    "callable_identity",
     "plan_structural_hash",
     "relation_fingerprint",
     "result_cache_key",
+    "semantic_cache_key",
     "Frame",
     "collect_frame",
     "node_label",

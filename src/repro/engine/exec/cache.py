@@ -1,11 +1,23 @@
-"""Fingerprint-keyed plan-result cache with per-relation invalidation.
+"""Semantically-keyed plan-result cache with per-relation invalidation.
 
-Entries are keyed by :func:`~repro.engine.exec.fingerprint.result_cache_key`
-— structural plan identity plus the fingerprints of every base relation
-the plan reads — so a stale entry can never be *returned* (a mutated
-relation changes its fingerprint and the key no longer matches).
-Per-relation invalidation and the LRU cap exist to bound *space* and
-keep the table dense with live entries.
+Entries are keyed by :func:`~repro.engine.exec.fingerprint.semantic_cache_key`
+— an interned **semantic token** (structural plan identity *plus* a
+per-cache disambiguator for every named callable) and the fingerprints
+of every base relation the plan reads — so a stale or aliased entry can
+never be *returned*: a mutated relation changes its fingerprint, and a
+``predicate_name``/``fn_name`` rebound to a different callable changes
+its token.  Per-relation invalidation and the LRU cap exist to bound
+*space* and keep the table dense with live entries.
+
+The callable registry enforces what used to be an unenforced "standing
+invariant" (a name identifies its semantics).  Two policies:
+
+* ``on_alias="distinct"`` (default) — each distinct callable bound to a
+  name gets its own alias ordinal, so aliased plans transparently key
+  apart and both get correct answers;
+* ``on_alias="error"`` — rebinding a name to a different callable
+  raises :class:`CacheInvariantError`, for callers that want the old
+  invariant actually checked.
 
 Cached entries store the answer **and** the work ledger the streaming
 executor would have produced, so a cache hit reports costs as if the
@@ -17,13 +29,18 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Mapping as TMapping, Optional
+from typing import Callable, Mapping as TMapping, Optional
 
 from ...optimizer.plan import Plan
 from ...types.values import CVSet
-from .fingerprint import result_cache_key
+from .fingerprint import annotate_plan, callable_identity, semantic_cache_key
 
-__all__ = ["CacheEntry", "PlanCache"]
+__all__ = ["CacheEntry", "CacheInvariantError", "PlanCache"]
+
+
+class CacheInvariantError(RuntimeError):
+    """A predicate/function name was rebound to a different callable
+    while the cache runs in ``on_alias="error"`` mode."""
 
 
 @dataclass(frozen=True)
@@ -38,20 +55,78 @@ class CacheEntry:
 
 
 class PlanCache:
-    """LRU cache of plan results with hit/miss accounting."""
+    """LRU cache of plan results with hit/miss accounting.
 
-    def __init__(self, capacity: int = 256) -> None:
+    ``capacity <= 0`` disables caching entirely: ``put`` is a no-op (no
+    entry churn) and ``get`` always misses.
+    """
+
+    def __init__(
+        self, capacity: int = 256, *, on_alias: str = "distinct"
+    ) -> None:
+        if on_alias not in ("distinct", "error"):
+            raise ValueError(
+                f"on_alias must be 'distinct' or 'error', got {on_alias!r}"
+            )
         self.capacity = capacity
+        self.on_alias = on_alias
         self._entries: OrderedDict = OrderedDict()
         self._by_relation: dict[str, set] = {}
+        #: Interning state for semantic tokens (see ``annotate_plan``).
+        self._intern: dict = {}
+        #: name -> callable identity -> alias ordinal.  Identity tokens
+        #: hold strong references, so a freed callable's ``id`` can
+        #: never be recycled into a stale ordinal.
+        self._aliases: dict[str, dict] = {}
+        #: ``id(fn) -> (fn, identity)``.  Identity is computed once per
+        #: callable *object*: closures may capture mutable state (e.g. a
+        #: ``nonlocal`` counter), and re-deriving the identity after such
+        #: state drifts would silently retire warm entries.  The stored
+        #: ``fn`` keeps the object alive so its ``id`` is never reused.
+        self._identity_memo: dict[int, tuple[Callable, object]] = {}
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    # ------------------------------------------------------------------
+    # Semantic keys.
+
+    def _tag(self, name: str, fn: Callable) -> tuple[str, int]:
+        """The alias ordinal of ``fn`` under ``name`` in this cache."""
+        memoized = self._identity_memo.get(id(fn))
+        if memoized is None:
+            identity = callable_identity(fn)
+            self._identity_memo[id(fn)] = (fn, identity)
+        else:
+            identity = memoized[1]
+        bindings = self._aliases.setdefault(name, {})
+        ordinal = bindings.get(identity)
+        if ordinal is None:
+            if bindings and self.on_alias == "error":
+                raise CacheInvariantError(
+                    f"name {name!r} is already bound to a different "
+                    f"callable in this cache; aliasing a predicate/"
+                    f"function name breaks result reuse "
+                    f"(on_alias='error')"
+                )
+            ordinal = len(bindings)
+            bindings[identity] = ordinal
+        return (name, ordinal)
+
+    def annotate(self, plan: Plan) -> dict[int, tuple[int, frozenset]]:
+        """Semantic token + base relations for every subtree of ``plan``
+        (``id(node) -> (token, relations)``), interned against this
+        cache's registry so tokens are stable across executions."""
+        return annotate_plan(plan, self._intern, self._tag)
+
     def key_for(self, plan: Plan, db: TMapping[str, CVSet]):
-        return result_cache_key(plan, db)
+        token, relations = self.annotate(plan)[id(plan)]
+        return semantic_cache_key(token, relations, db)
+
+    # ------------------------------------------------------------------
+    # Storage.
 
     def get(self, key) -> Optional[CacheEntry]:
         entry = self._entries.get(key)
@@ -63,9 +138,16 @@ class PlanCache:
         return entry
 
     def put(self, key, entry: CacheEntry) -> None:
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        if self.capacity <= 0:
             return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            # Re-put refreshes the entry (and its LRU position); drop
+            # relation back-pointers the new entry no longer needs.
+            for name in old.relations - entry.relations:
+                keys = self._by_relation.get(name)
+                if keys is not None:
+                    keys.discard(key)
         self._entries[key] = entry
         for name in entry.relations:
             self._by_relation.setdefault(name, set()).add(key)
@@ -81,6 +163,9 @@ class PlanCache:
         if relation is None:
             self._entries.clear()
             self._by_relation.clear()
+            self._intern.clear()
+            self._aliases.clear()
+            self._identity_memo.clear()
             return
         for key in self._by_relation.pop(relation, ()):
             entry = self._entries.pop(key, None)

@@ -9,15 +9,18 @@ pipeline:
   ``CVSet`` construction (no re-hashing whole relations at every level).
   Materialization happens only at pipeline breakers: hash-build sides of
   ``Difference``/``Intersect``/``Product``/``Join``, and the root.
-* **Common-subexpression elimination** — structurally identical subtrees
-  (plan nodes are frozen dataclasses, so subtree equality is structural)
-  are detected up front; a repeated subtree executes once and later
-  occurrences replay its materialized result.  Its work ledger is
-  *spliced* per occurrence, so reported work is exactly what the
-  reference interpreter charges.
+* **Common-subexpression elimination** — subtrees with the same
+  *semantic token* (structural equality **and** identical callables —
+  see :func:`~repro.engine.exec.fingerprint.annotate_plan`) are detected
+  up front; a repeated subtree executes once and later occurrences
+  replay its materialized result.  Its work ledger is *spliced* per
+  occurrence, so reported work is exactly what the reference
+  interpreter charges.  Keying on semantic tokens (not bare structural
+  equality) means two same-named selections backed by different
+  predicates are never conflated.
 * **Result caching** — with a :class:`~repro.engine.exec.cache.PlanCache`
   attached, every non-``Scan`` node consults the cache (keyed by
-  structural plan + base-relation fingerprints) before compiling, and
+  semantic token + base-relation fingerprints) before compiling, and
   every node that gets materialized anyway (root, CSE duplicates, hash
   build sides) populates it.  The invariance/classification experiments
   re-run identical sub-plans thousands of times; hits skip execution
@@ -25,11 +28,20 @@ pipeline:
 * **Index reuse** — single-pair joins whose build side is a bare scan
   can borrow the database's incrementally-maintained secondary hash
   index instead of rebuilding it per query (``key_index`` hook).
+* **Deep-plan safety** — plan compilation is an explicit-stack
+  traversal (no recursion), and pipelines deeper than
+  :data:`MAX_PIPELINE_DEPTH` are cut by forced materialization, so the
+  runtime generator chain stays shallow.  Plans thousands of operators
+  deep execute without ``RecursionError``; the extra materialization
+  points are invisible in the results (value, work, and ledger are
+  unchanged — materialized subtrees splice their ledgers exactly like
+  CSE hits do).
 
-The executor's contract, enforced by the equivalence property tests:
-identical ``CVSet`` answer, identical total work, and identical
-per-node ledger (same labels, same postorder) as the reference
-interpreter, for every plan over every database.
+The executor's contract, enforced by the equivalence property tests and
+the differential fuzz harness (:mod:`repro.engine.fuzz`): identical
+``CVSet`` answer, identical total work, and identical per-node ledger
+(same labels, same postorder) as the reference interpreter, for every
+plan over every database.
 """
 
 from __future__ import annotations
@@ -37,7 +49,6 @@ from __future__ import annotations
 from collections import Counter
 from typing import Callable, Iterator, Mapping as TMapping, Optional
 
-from ...optimizer.constraints import base_relations
 from ...optimizer.plan import (
     Difference,
     ExecutionResult,
@@ -50,10 +61,11 @@ from ...optimizer.plan import (
     Scan,
     Select,
     Union,
+    tuple_weight,
 )
 from ...types.values import CVSet, Value
 from .cache import CacheEntry, PlanCache
-from .fingerprint import result_cache_key
+from .fingerprint import annotate_plan, semantic_cache_key
 from .operators import (
     Frame,
     collect_frame,
@@ -68,13 +80,26 @@ from .operators import (
     union_gen,
 )
 
-__all__ = ["execute_streaming", "subtree_counts"]
+__all__ = ["execute_streaming", "subtree_counts", "MAX_PIPELINE_DEPTH"]
 
 _EMPTY = CVSet()
 
 #: ``key_index(name, columns)`` returns ``(index, relation_weight)`` for
 #: a maintained secondary hash index, or ``None`` when unavailable.
 KeyIndex = Callable[[str, tuple[int, ...]], Optional[tuple[dict, int]]]
+
+#: Longest chain of lazily-nested generators allowed before the
+#: executor cuts the pipeline with a materialization point.  Each
+#: pipelined operator adds one resumed generator frame per pulled
+#: tuple, so unbounded chains hit Python's recursion limit around
+#: depth ~600; 128 keeps the runtime stack comfortably shallow while
+#: leaving ordinary plans fully pipelined.
+MAX_PIPELINE_DEPTH = 128
+
+# Work-item tags for the explicit compile stack.
+_VISIT, _COMBINE = 0, 1
+# Combine flavors.
+_GENERIC, _BULK, _PREBUILT = 0, 1, 2
 
 
 def subtree_counts(plan: Plan) -> Counter:
@@ -100,110 +125,27 @@ def execute_streaming(
     Returns an :class:`ExecutionResult` identical (value, work,
     per-node ledger) to :func:`repro.optimizer.plan.execute_reference`.
     """
-    counts = subtree_counts(plan)
-    memo: dict[Plan, CacheEntry] = {}
+    if cache is not None:
+        # Shared interning: tokens (and alias ordinals) are stable
+        # across executions, so warm lookups hit.
+        info = cache.annotate(plan)
+    else:
+        # Local interning: ``id`` disambiguators are safe here because
+        # the plan keeps every callable alive for the whole call.
+        info = annotate_plan(plan, {}, lambda name, fn: (name, id(fn)))
 
-    def compile_node(
-        node: Plan,
-        parent: Optional[Frame],
-        build_side: bool = False,
-        top: bool = False,
-    ) -> tuple[Iterator[Value], Frame]:
-        frame = Frame(node_label(node))
-        if parent is not None:
-            parent.children.append(frame)
+    counts: Counter = Counter()
+    walk = [plan]
+    while walk:
+        node = walk.pop()
+        counts[info[id(node)][0]] += 1
+        walk.extend(node.children())
 
-        entry = memo.get(node)
-        if entry is None and cache is not None and not isinstance(node, Scan):
-            entry = cache.get(result_cache_key(node, db))
-            if entry is not None:
-                memo[node] = entry
-        if entry is not None:
-            frame.spliced = (entry.work, entry.entries)
-            return iter(entry.value), frame
+    memo: dict[int, CacheEntry] = {}
 
-        materialize = not isinstance(node, Scan) and (
-            counts[node] > 1 or (build_side and cache is not None)
-        )
-        # Emit-dedup is redundant where the consumer is a ``CVSet``
-        # constructor (materialization points and the root): the set
-        # build dedups anyway, so skip the per-tuple seen-set there.
-        gen = _operator(node, frame, dedup=not (materialize or top))
-        if materialize:
-            value = CVSet(gen)
-            work, entries = collect_frame(frame)
-            entry = CacheEntry(
-                value, work, tuple(entries), base_relations(node)
-            )
-            memo[node] = entry
-            if cache is not None:
-                cache.put(result_cache_key(node, db), entry)
-            return iter(value), frame
-        return gen, frame
-
-    def _operator(node: Plan, frame: Frame, dedup: bool) -> Iterator[Value]:
-        if isinstance(node, Scan):
-            return iter(db.get(node.relation, _EMPTY))
-        if isinstance(node, Project):
-            child, _ = compile_node(node.child, frame)
-            return project_gen(child, node.columns, frame, dedup)
-        if isinstance(node, Select):
-            child, _ = compile_node(node.child, frame)
-            return select_gen(child, node.predicate, frame)
-        if isinstance(node, MapNode):
-            child, _ = compile_node(node.child, frame)
-            return map_gen(child, node.fn, frame, dedup)
-        if isinstance(node, (Union, Difference, Intersect)):
-            if type(node.left) is Scan and type(node.right) is Scan:
-                return _bulk_set_op(node, frame)
-        if isinstance(node, Union):
-            left, _ = compile_node(node.left, frame)
-            right, _ = compile_node(node.right, frame)
-            return union_gen(left, right, frame, dedup)
-        if isinstance(node, Difference):
-            left, _ = compile_node(node.left, frame)
-            right, _ = compile_node(node.right, frame, build_side=True)
-            return difference_gen(left, right, frame)
-        if isinstance(node, Intersect):
-            left, _ = compile_node(node.left, frame)
-            right, _ = compile_node(node.right, frame, build_side=True)
-            return intersect_gen(left, right, frame)
-        if isinstance(node, Product):
-            left, _ = compile_node(node.left, frame)
-            right, _ = compile_node(node.right, frame, build_side=True)
-            return product_gen(left, right, frame, dedup)
-        if isinstance(node, Join):
-            left, _ = compile_node(node.left, frame)
-            prebuilt = _prebuilt_join_index(node)
-            if prebuilt is not None:
-                # Log the scan child for ledger parity with the
-                # reference even though it is never re-read.
-                frame.children.append(Frame(node_label(node.right)))
-                right: Iterator[Value] = iter(())
-            else:
-                right, _ = compile_node(node.right, frame, build_side=True)
-            return join_gen(
-                node.on, left, right, frame, prebuilt=prebuilt, dedup=dedup
-            )
-        raise TypeError(f"unknown plan node: {node!r}")
-
-    def _bulk_set_op(node: Plan, frame: Frame) -> Iterator[Value]:
-        """Set operation over two bare scans: both inputs are already
-        materialized, so a C-level frozenset op beats any per-tuple
-        Python loop.  Work and ledger are charged exactly as the
-        streaming operators would."""
-        left = db.get(node.left.relation, _EMPTY)
-        right = db.get(node.right.relation, _EMPTY)
-        frame.children.append(Frame(node_label(node.left)))
-        frame.children.append(Frame(node_label(node.right)))
-        frame.work += sum(max(len(t), 1) for t in left) + sum(
-            max(len(t), 1) for t in right
-        )
-        if isinstance(node, Union):
-            return iter(left.union(right))
-        if isinstance(node, Difference):
-            return iter(left.difference(right))
-        return iter(left.intersection(right))
+    def entry_key(node: Plan):
+        token, relations = info[id(node)]
+        return semantic_cache_key(token, relations, db)
 
     def _prebuilt_join_index(node: Join) -> Optional[tuple[dict, int]]:
         if (
@@ -215,15 +157,173 @@ def execute_streaming(
         right_cols = tuple(j for _, j in node.on)
         return key_index(node.right.relation, right_cols)
 
-    root_iter, root_frame = compile_node(plan, None, top=True)
-    entry = memo.get(plan)
+    def _bulk_set_op(node: Plan, frame: Frame) -> Iterator[Value]:
+        """Set operation over two bare scans: both inputs are already
+        materialized, so a C-level frozenset op beats any per-tuple
+        Python loop.  Work and ledger are charged exactly as the
+        streaming operators would — via :func:`tuple_weight`, so
+        atom-valued relations weigh 1 per atom instead of raising
+        ``TypeError``."""
+        left = db.get(node.left.relation, _EMPTY)
+        right = db.get(node.right.relation, _EMPTY)
+        frame.children.append(Frame(node_label(node.left)))
+        frame.children.append(Frame(node_label(node.right)))
+        frame.work += sum(tuple_weight(t) for t in left) + sum(
+            tuple_weight(t) for t in right
+        )
+        if isinstance(node, Union):
+            return iter(left.union(right))
+        if isinstance(node, Difference):
+            return iter(left.difference(right))
+        return iter(left.intersection(right))
+
+    # ------------------------------------------------------------------
+    # Explicit-stack compilation: VISIT items run the pre-order steps
+    # (frame creation, memo/cache lookup, fast-path dispatch); COMBINE
+    # items run after a node's children compiled and wire the physical
+    # operator, deciding materialization.  ``out`` holds each compiled
+    # (iterator, pipeline-depth) pair; depth 1 means "materialized".
+
+    out: list[tuple[Iterator[Value], int]] = []
+    root_frame: Optional[Frame] = None
+    # item: (_VISIT, node, parent_frame, build_side, top)
+    #     | (_COMBINE, node, frame, build_side, top, flavor, extra)
+    stack: list[tuple] = [(_VISIT, plan, None, False, True)]
+
+    while stack:
+        item = stack.pop()
+        if item[0] == _VISIT:
+            _, node, parent, build_side, top = item
+            if not isinstance(node, Plan):
+                raise TypeError(f"unknown plan node: {node!r}")
+            frame = Frame(node_label(node))
+            if parent is not None:
+                parent.children.append(frame)
+            else:
+                root_frame = frame
+            if isinstance(node, Scan):
+                out.append((iter(db.get(node.relation, _EMPTY)), 1))
+                continue
+            token = info[id(node)][0]
+            entry = memo.get(token)
+            if entry is None and cache is not None:
+                entry = cache.get(entry_key(node))
+                if entry is not None:
+                    memo[token] = entry
+            if entry is not None:
+                frame.spliced = (entry.work, entry.entries)
+                out.append((iter(entry.value), 1))
+                continue
+            if isinstance(node, (Union, Difference, Intersect)) and (
+                type(node.left) is Scan and type(node.right) is Scan
+            ):
+                stack.append(
+                    (_COMBINE, node, frame, build_side, top, _BULK, None)
+                )
+                continue
+            if isinstance(node, Join):
+                prebuilt = _prebuilt_join_index(node)
+                if prebuilt is not None:
+                    stack.append(
+                        (
+                            _COMBINE, node, frame, build_side, top,
+                            _PREBUILT, prebuilt,
+                        )
+                    )
+                    stack.append((_VISIT, node.left, frame, False, False))
+                    continue
+            stack.append(
+                (_COMBINE, node, frame, build_side, top, _GENERIC, None)
+            )
+            children = node.children()
+            if isinstance(node, (Difference, Intersect, Product, Join)):
+                flags: tuple[bool, ...] = (False, True)
+            else:
+                flags = (False,) * len(children)
+            for child, flag in reversed(tuple(zip(children, flags))):
+                stack.append((_VISIT, child, frame, flag, False))
+            continue
+
+        # _COMBINE
+        _, node, frame, build_side, top, flavor, extra = item
+        if flavor == _BULK:
+            children_depth = 0
+            inputs: list[Iterator[Value]] = []
+        elif flavor == _PREBUILT:
+            left_iter, left_depth = out.pop()
+            # Log the scan child for ledger parity with the reference
+            # even though it is never re-read.
+            frame.children.append(Frame(node_label(node.right)))
+            children_depth = left_depth
+            inputs = [left_iter]
+        else:
+            children = node.children()
+            n = len(children)
+            compiled = out[-n:]
+            del out[-n:]
+            children_depth = max((d for _, d in compiled), default=0)
+            inputs = [it for it, _ in compiled]
+        depth = 1 + children_depth
+
+        token = info[id(node)][0]
+        materialize = (
+            counts[token] > 1
+            or (build_side and cache is not None)
+            or depth > MAX_PIPELINE_DEPTH
+        )
+        # Emit-dedup is redundant where the consumer is a ``CVSet``
+        # constructor (materialization points and the root): the set
+        # build dedups anyway, so skip the per-tuple seen-set there.
+        dedup = not (materialize or top)
+
+        if flavor == _BULK:
+            gen = _bulk_set_op(node, frame)
+        elif flavor == _PREBUILT:
+            gen = join_gen(
+                node.on, inputs[0], iter(()), frame,
+                prebuilt=extra, dedup=dedup,
+            )
+        elif isinstance(node, Project):
+            gen = project_gen(inputs[0], node.columns, frame, dedup)
+        elif isinstance(node, Select):
+            gen = select_gen(inputs[0], node.predicate, frame)
+        elif isinstance(node, MapNode):
+            gen = map_gen(inputs[0], node.fn, frame, dedup)
+        elif isinstance(node, Union):
+            gen = union_gen(inputs[0], inputs[1], frame, dedup)
+        elif isinstance(node, Difference):
+            gen = difference_gen(inputs[0], inputs[1], frame)
+        elif isinstance(node, Intersect):
+            gen = intersect_gen(inputs[0], inputs[1], frame)
+        elif isinstance(node, Product):
+            gen = product_gen(inputs[0], inputs[1], frame, dedup)
+        elif isinstance(node, Join):
+            gen = join_gen(node.on, inputs[0], inputs[1], frame, dedup=dedup)
+        else:
+            raise TypeError(f"unknown plan node: {node!r}")
+
+        if materialize:
+            value = CVSet(gen)
+            work, entries = collect_frame(frame)
+            entry = CacheEntry(
+                value, work, tuple(entries), info[id(node)][1]
+            )
+            memo[token] = entry
+            if cache is not None:
+                cache.put(entry_key(node), entry)
+            out.append((iter(value), 1))
+        else:
+            out.append((gen, depth))
+
+    root_iter, _ = out.pop()
+    entry = memo.get(info[id(plan)][0])
     if entry is not None:  # root served from cache or materialized
         return ExecutionResult(entry.value, entry.work, list(entry.entries))
     value = CVSet(root_iter)
     work, entries = collect_frame(root_frame)
     if cache is not None and not isinstance(plan, Scan):
         cache.put(
-            result_cache_key(plan, db),
-            CacheEntry(value, work, tuple(entries), base_relations(plan)),
+            entry_key(plan),
+            CacheEntry(value, work, tuple(entries), info[id(plan)][1]),
         )
     return ExecutionResult(value=value, work=work, per_node=entries)

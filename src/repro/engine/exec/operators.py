@@ -65,17 +65,27 @@ class Frame:
 
 def collect_frame(frame: Frame) -> tuple[int, list[tuple[str, int]]]:
     """Total work and postorder per-node ledger under ``frame`` —
-    the same order the reference interpreter logs in."""
-    if frame.spliced is not None:
-        work, entries = frame.spliced
-        return work, list(entries)
-    total = frame.work
+    the same order the reference interpreter logs in.
+
+    Explicit-stack traversal: frame trees mirror plan trees, which can
+    be thousands of levels deep."""
+    total = 0
     entries: list[tuple[str, int]] = []
-    for child in frame.children:
-        child_work, child_entries = collect_frame(child)
-        total += child_work
-        entries.extend(child_entries)
-    entries.append((frame.label, frame.work))
+    stack: list[tuple[Frame, bool]] = [(frame, False)]
+    while stack:
+        f, ready = stack.pop()
+        if f.spliced is not None:
+            work, spliced_entries = f.spliced
+            total += work
+            entries.extend(spliced_entries)
+            continue
+        if not ready:
+            stack.append((f, True))
+            for child in reversed(f.children):
+                stack.append((child, False))
+            continue
+        total += f.work
+        entries.append((f.label, f.work))
     return total, entries
 
 

@@ -1,0 +1,341 @@
+"""Differential fuzzing of the streaming engine against the reference.
+
+The streaming executor's contract is *bit-for-bit agreement* with the
+reference interpreter — same ``CVSet`` answer, same total work, same
+per-node postorder ledger — for every plan over every database, in
+every cache state.  The property tests pin that contract on curated
+plans; this harness hammers it with generated ones:
+
+* **random** — random plans over random tuple databases;
+* **nested** — the same plans over databases whose components are
+  nested complex values (tuples, sets, lists);
+* **atoms** — set-operation trees over relations of bare atoms, the
+  inputs that once crashed the bulk path's inline ``len(t)`` weighting;
+* **alias** — one ``predicate_name`` bound to *different* closures
+  across (and within) plans sharing a cache — the cache-poisoning
+  repro, generalized;
+* **deep** — unary chains hundreds to thousands of operators deep
+  (recursion-safety, pipeline-depth cutting);
+* **mutation** — a live :class:`~repro.engine.database.Database`
+  mutated between runs (inserts and wholesale replacement), checking
+  that invalidation keeps the shared cache honest.
+
+Every generated plan is executed in up to three modes — cold (no
+cache), fresh cache (cold run then warm re-run), and a cache shared
+across the whole scenario — and each run is compared against the
+reference.  Any mismatch is recorded as a :class:`Divergence`.
+
+Entry points: :func:`run_fuzz` (library) and ``python -m repro fuzz
+--seeds N`` (CLI, exits non-zero on divergence).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping as TMapping, Optional
+
+from ..optimizer.plan import (
+    Difference,
+    Intersect,
+    MapNode,
+    Plan,
+    Scan,
+    Select,
+    Union,
+    execute_reference,
+)
+from ..types.values import CVSet, Tup, Value
+from .database import Database
+from .exec import PlanCache, execute_streaming
+from .workload import (
+    deep_chain_plan,
+    random_atom_database,
+    random_database,
+    random_nested_database,
+    random_plan,
+)
+
+__all__ = ["Divergence", "FuzzReport", "run_fuzz", "SCENARIOS"]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One disagreement between streaming and reference execution."""
+
+    seed: int
+    scenario: str
+    mode: str
+    detail: str
+
+    def __str__(self) -> str:
+        return (
+            f"seed={self.seed} scenario={self.scenario} "
+            f"mode={self.mode}: {self.detail}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz run."""
+
+    seeds: int = 0
+    checks: int = 0
+    divergences: list[Divergence] = field(default_factory=list)
+    per_scenario: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.seeds} seeds, {self.checks} differential checks"
+        ]
+        for name in sorted(self.per_scenario):
+            lines.append(f"  {name:10} {self.per_scenario[name]} checks")
+        if self.ok:
+            lines.append("  zero divergences")
+        else:
+            lines.append(f"  {len(self.divergences)} DIVERGENCE(S):")
+            for d in self.divergences[:20]:
+                lines.append(f"    {d}")
+            if len(self.divergences) > 20:
+                lines.append(
+                    f"    ... and {len(self.divergences) - 20} more"
+                )
+        return "\n".join(lines)
+
+
+def _describe_mismatch(got, want) -> Optional[str]:
+    if got.value != want.value:
+        return (
+            f"value mismatch: streaming {len(got.value)} rows, "
+            f"reference {len(want.value)} rows"
+        )
+    if got.work != want.work:
+        return f"work mismatch: streaming {got.work}, reference {want.work}"
+    if got.per_node != want.per_node:
+        return (
+            f"ledger mismatch: streaming {len(got.per_node)} entries, "
+            f"reference {len(want.per_node)}"
+        )
+    return None
+
+
+class _Checker:
+    """Runs one plan through the execution modes, recording divergences."""
+
+    def __init__(self, report: FuzzReport, seed: int, scenario: str) -> None:
+        self.report = report
+        self.seed = seed
+        self.scenario = scenario
+        self.shared = PlanCache()
+
+    def _record(self, mode: str, detail: str) -> None:
+        self.report.divergences.append(
+            Divergence(self.seed, self.scenario, mode, detail)
+        )
+
+    def _compare(self, mode: str, got, want) -> None:
+        self.report.checks += 1
+        self.report.per_scenario[self.scenario] = (
+            self.report.per_scenario.get(self.scenario, 0) + 1
+        )
+        detail = _describe_mismatch(got, want)
+        if detail is not None:
+            self._record(mode, detail)
+
+    def check(
+        self,
+        plan: Plan,
+        db: TMapping[str, CVSet],
+        *,
+        modes: tuple[str, ...] = ("cold", "fresh", "shared"),
+    ) -> None:
+        reference = execute_reference(plan, db)
+        if "cold" in modes:
+            self._compare("cold", execute_streaming(plan, db), reference)
+        if "fresh" in modes:
+            fresh = PlanCache()
+            self._compare(
+                "fresh-cold",
+                execute_streaming(plan, db, cache=fresh),
+                reference,
+            )
+            self._compare(
+                "fresh-warm",
+                execute_streaming(plan, db, cache=fresh),
+                reference,
+            )
+        if "shared" in modes:
+            self._compare(
+                "shared",
+                execute_streaming(plan, db, cache=self.shared),
+                reference,
+            )
+
+
+# ----------------------------------------------------------------------
+# Scenario generators.  Each takes (rng, checker) and drives the checker
+# through one seed's worth of plans.
+
+_NAMES = ("r", "s", "t")
+
+
+def _scenario_random(rng: random.Random, check: _Checker) -> None:
+    db = random_database(rng, _NAMES)
+    for _ in range(3):
+        check.check(random_plan(rng, _NAMES, depth=rng.randint(1, 4)), db)
+
+
+def _scenario_nested(rng: random.Random, check: _Checker) -> None:
+    db = random_nested_database(rng, _NAMES)
+    for _ in range(3):
+        check.check(random_plan(rng, _NAMES, depth=rng.randint(1, 3)), db)
+
+
+def _atom_even(v: Value) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v % 2 == 0
+
+
+def _atom_wrap(v: Value) -> Value:
+    return Tup((v,))
+
+
+def _random_atom_plan(rng: random.Random, depth: int) -> Plan:
+    """Set-operation trees over atom relations (no positional access)."""
+    if depth <= 0:
+        return Scan(rng.choice(_NAMES))
+    kind = rng.randrange(5)
+    if kind == 0:
+        return Select("atom_even", _atom_even, _random_atom_plan(rng, depth - 1))
+    if kind == 1:
+        return MapNode("wrap", _atom_wrap, _random_atom_plan(rng, depth - 1),
+                       injective=True)
+    op = (Union, Difference, Intersect)[kind - 2]
+    return op(_random_atom_plan(rng, depth - 1),
+              _random_atom_plan(rng, depth - 1))
+
+
+def _scenario_atoms(rng: random.Random, check: _Checker) -> None:
+    db = random_atom_database(rng, _NAMES)
+    # Always include the bulk fast path (set op over two bare scans)...
+    op = rng.choice((Union, Difference, Intersect))
+    check.check(op(Scan(rng.choice(_NAMES)), Scan(rng.choice(_NAMES))), db)
+    # ...and a couple of deeper trees.
+    for _ in range(2):
+        check.check(_random_atom_plan(rng, rng.randint(1, 3)), db)
+
+
+def _threshold_pred(k: int) -> Callable[[Value], bool]:
+    def pred(t: Value) -> bool:
+        try:
+            return t[0] >= k
+        except TypeError:
+            return False
+
+    return pred
+
+
+def _scenario_alias(rng: random.Random, check: _Checker) -> None:
+    """Adversarial name aliasing: one name, many closures, one cache."""
+    db = random_database(rng, _NAMES)
+    base = Scan(rng.choice(_NAMES))
+    thresholds = rng.sample(range(-1, 7), rng.randint(2, 4))
+    # Across plans sharing check.shared: a poisoned cache would replay
+    # the first threshold's answer for all of them.
+    for k in thresholds:
+        check.check(Select("thresh", _threshold_pred(k), base), db)
+    # Within one plan: the CSE memo must also key on semantics, not
+    # just on structural (name-based) equality.
+    k1, k2 = thresholds[0], thresholds[1]
+    check.check(
+        Union(
+            Select("thresh", _threshold_pred(k1), base),
+            Select("thresh", _threshold_pred(k2), base),
+        ),
+        db,
+    )
+
+
+def _scenario_deep(rng: random.Random, check: _Checker) -> None:
+    db = random_database(rng, _NAMES)
+    depth = rng.randint(600, 1500)
+    plan = deep_chain_plan(rng, rng.choice(_NAMES), depth)
+    # Deep chains are expensive; skip the redundant fresh-cache pair.
+    check.check(plan, db, modes=("cold", "shared"))
+
+
+def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
+    """A live database mutated mid-sweep; its own cache must stay honest."""
+    db = Database()
+    for name in _NAMES:
+        db.create(name, 2)
+        db.insert(
+            name,
+            {
+                (rng.randrange(5), rng.randrange(5))
+                for _ in range(rng.randint(0, 8))
+            },
+        )
+    for _ in range(3):
+        plan = random_plan(rng, _NAMES, depth=rng.randint(1, 3))
+        check._compare("db-warmup", db.run(plan), db.run_reference(plan))
+        victim = rng.choice(_NAMES)
+        if rng.random() < 0.5:
+            db.insert(
+                victim,
+                [(rng.randrange(5), rng.randrange(5))
+                 for _ in range(rng.randint(1, 3))],
+            )
+        else:
+            db[victim] = CVSet(
+                Tup((rng.randrange(5), rng.randrange(5)))
+                for _ in range(rng.randint(0, 6))
+            )
+        check._compare("db-mutated", db.run(plan), db.run_reference(plan))
+
+
+SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
+    "random": _scenario_random,
+    "nested": _scenario_nested,
+    "atoms": _scenario_atoms,
+    "alias": _scenario_alias,
+    "mutation": _scenario_mutation,
+    "deep": _scenario_deep,
+}
+
+
+def run_fuzz(
+    seeds: int,
+    *,
+    base_seed: int = 0,
+    deep_every: int = 10,
+    scenarios: Optional[tuple[str, ...]] = None,
+) -> FuzzReport:
+    """Run ``seeds`` differential fuzz iterations.
+
+    Each seed cycles through the cheap scenarios; the expensive ``deep``
+    scenario runs every ``deep_every``-th seed.  ``scenarios`` restricts
+    the set (by name) when given.  Determinism: seed ``i`` always plays
+    the same plans against the same databases, independent of the
+    overall count.
+    """
+    active = tuple(scenarios) if scenarios is not None else tuple(SCENARIOS)
+    unknown = [name for name in active if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
+    report = FuzzReport()
+    cheap = [name for name in active if name != "deep"]
+    for i in range(seeds):
+        report.seeds += 1
+        names: list[str] = []
+        if cheap:
+            names.append(cheap[i % len(cheap)])
+        if "deep" in active and deep_every > 0 and i % deep_every == 0:
+            names.append("deep")
+        for name in names:
+            rng = random.Random(f"{base_seed}/{i}/{name}")
+            SCENARIOS[name](rng, _Checker(report, base_seed + i, name))
+    return report

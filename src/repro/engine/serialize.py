@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 from typing import Any
 
-from ..optimizer.constraints import RelationInfo
 from ..types.values import CVBag, CVList, CVSet, Tup, Value, is_atom
 from .database import Database
 

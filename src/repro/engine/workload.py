@@ -29,7 +29,7 @@ from ..optimizer.plan import (
     Select,
     Union,
 )
-from ..types.values import CVSet, Tup, Value
+from ..types.values import CVList, CVSet, Tup, Value
 from .database import Database
 
 __all__ = [
@@ -42,6 +42,9 @@ __all__ = [
     "hr_database",
     "random_database",
     "random_plan",
+    "deep_chain_plan",
+    "random_atom_database",
+    "random_nested_database",
 ]
 
 
@@ -263,6 +266,85 @@ def random_database(
     for name in names:
         rows = {
             Tup(tuple(rng.choice(domain) for _ in range(arity)))
+            for _ in range(rng.randint(0, max_rows))
+        }
+        out[name] = CVSet(rows)
+    return out
+
+
+def deep_chain_plan(
+    rng: random.Random, name: str, depth: int, *, base_arity: int = 2
+) -> Plan:
+    """A unary-operator chain of the given depth over one scan.
+
+    Every link preserves arity ``base_arity`` (selections from the
+    standard pool, permuting projections, the ``swap`` map), so chains
+    compose to any depth.  Exercises deep-plan safety: compilation,
+    optimization and ledger collection must all survive depths far past
+    the default recursion limit.
+    """
+    plan: Plan = Scan(name)
+    columns_swap = tuple(range(base_arity))[::-1]
+    predicate_names = sorted(_PREDICATES)
+    for _ in range(depth):
+        kind = rng.randrange(3)
+        if kind == 0:
+            pname = rng.choice(predicate_names)
+            plan = Select(pname, _PREDICATES[pname], plan)
+        elif kind == 1:
+            plan = Project(columns_swap, plan)
+        else:
+            plan = MapNode("swap", _map_swap, plan, injective=True)
+    return plan
+
+
+def random_atom_database(
+    rng: random.Random,
+    names: Sequence[str],
+    domain_size: int = 6,
+    max_rows: int = 8,
+) -> dict[str, CVSet]:
+    """Relations whose elements are bare atoms, not tuples.
+
+    The value model admits sets of atoms directly; work accounting must
+    weigh them via :func:`~repro.optimizer.plan.tuple_weight` (1 per
+    atom) instead of assuming ``len(t)`` exists.
+    """
+    atoms: list[Value] = [*range(domain_size // 2)]
+    atoms += [f"a{i}" for i in range(domain_size - domain_size // 2)]
+    out = {}
+    for name in names:
+        rows = {rng.choice(atoms) for _ in range(rng.randint(0, max_rows))}
+        out[name] = CVSet(rows)
+    return out
+
+
+def random_nested_database(
+    rng: random.Random,
+    names: Sequence[str],
+    arity: int = 2,
+    domain_size: int = 5,
+    max_rows: int = 8,
+) -> dict[str, CVSet]:
+    """Binary relations whose components are nested complex values
+    (atoms, pairs, sets, lists) — the complex-value model the paper's
+    queries actually range over."""
+    domain = list(range(domain_size))
+
+    def component() -> Value:
+        roll = rng.random()
+        if roll < 0.5:
+            return rng.choice(domain)
+        if roll < 0.7:
+            return Tup((rng.choice(domain), rng.choice(domain)))
+        if roll < 0.9:
+            return CVSet(rng.choice(domain) for _ in range(rng.randint(0, 3)))
+        return CVList(rng.choice(domain) for _ in range(rng.randint(0, 3)))
+
+    out = {}
+    for name in names:
+        rows = {
+            Tup(tuple(component() for _ in range(arity)))
             for _ in range(rng.randint(0, max_rows))
         }
         out[name] = CVSet(rows)

@@ -34,7 +34,7 @@ from ..lambda2.prelude import build_prelude
 from ..mappings.extensions import REL, STRONG, BagRelExt
 from ..mappings.mapping import Mapping
 from ..types.ast import INT
-from ..types.values import CVBag, CVList, Tup, cvbag
+from ..types.values import CVList, Tup, cvbag
 from .report import ExperimentResult
 
 __all__ = ["bags_genericity", "fixpoint_genericity", "church_lists", "search_ablation"]

@@ -6,15 +6,7 @@ import random
 
 from ..engine.exec import PlanCache
 from ..engine.workload import hr_database, random_database
-from ..optimizer.plan import (
-    Difference,
-    MapNode,
-    Project,
-    Scan,
-    Select,
-    Union,
-    execute,
-)
+from ..optimizer.plan import Difference, MapNode, Project, Scan, Union
 from ..optimizer.rewriter import Rewriter, verify_equivalence
 from ..types.values import Tup
 from .report import ExperimentResult

@@ -35,7 +35,7 @@ from ..mappings.extensions import REL
 from ..mappings.families import MappingFamily, preserves_predicate
 from ..mappings.generators import random_domain, random_mapping_in_class
 from ..mappings.mapping import Mapping
-from ..types.ast import INT, Product, SetType, TypeVar
+from ..types.ast import INT, Product, SetType
 from ..types.values import CVSet, Value
 from .report import ExperimentResult
 

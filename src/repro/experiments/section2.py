@@ -14,21 +14,19 @@ from ..algebra.operators import (
     projection,
     select_const,
     select_eq,
-    select_pred,
     self_compose,
     self_cross,
 )
-from ..engine.workload import paper_h_pairs, paper_r1, paper_r2, paper_r3, random_graph
+from ..engine.workload import paper_h_pairs, paper_r1, paper_r2, paper_r3
 from ..genericity.hierarchy import GenericitySpec, STANDARD_LATTICE
-from ..genericity.invariance import check_invariance, instantiate_at
-from ..genericity.witnesses import find_counterexample, verify_witness
-from ..mappings.extensions import REL, STRONG, extend_family
+from ..genericity.witnesses import find_counterexample
+from ..mappings.extensions import REL, STRONG
 from ..mappings.families import ConstantSpec, MappingFamily, preserves_predicate
 from ..mappings.generators import random_domain, random_mapping_in_class
 from ..mappings.mapping import Mapping
-from ..types.ast import BOOL, INT, STR, Product, SetType, set_of
+from ..types.ast import BOOL, INT, STR, Product, set_of
 from ..types.signatures import standard_signature
-from ..types.values import CVSet, Tup, cvset, tup
+from ..types.values import CVSet, cvset, tup
 from .report import ExperimentResult
 
 __all__ = [

@@ -10,12 +10,10 @@ from ..algebra.operators import (
     cross_op,
     difference_op,
     eq_adom,
-    empty_query,
     full_complement,
     hat_select_eq,
     identity_query,
     intersection_op,
-    map_query,
     projection,
     select_eq,
     self_compose,
@@ -24,18 +22,17 @@ from ..algebra.operators import (
 )
 from ..algebra.query import Query, compose, pair_query
 from ..genericity.hierarchy import GenericitySpec
-from ..genericity.invariance import check_invariance, instantiate_at
+from ..genericity.invariance import instantiate_at
 from ..genericity.witnesses import find_counterexample
-from ..mappings.extensions import REL, STRONG, extend_family
-from ..mappings.families import ConstantSpec, MappingFamily
+from ..mappings.extensions import REL, STRONG
+from ..mappings.families import MappingFamily
 from ..mappings.generators import (
     random_domain,
     random_mapping_in_class,
     random_relation_value,
 )
-from ..mappings.mapping import Mapping
-from ..types.ast import INT, Product, SetType, TypeVar, set_of
-from ..types.values import CVSet, Tup, cvset, tup
+from ..types.ast import INT, TypeVar, set_of
+from ..types.values import CVSet, Tup
 from .report import ExperimentResult
 
 __all__ = [

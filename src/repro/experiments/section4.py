@@ -7,34 +7,27 @@ import random
 from ..algebra.nested import nest_parity
 from ..genericity.hierarchy import GenericitySpec
 from ..genericity.witnesses import find_counterexample
-from ..lambda2.parametricity import (
-    check_parametricity,
-    default_candidates,
-    logical_relation,
-)
+from ..lambda2.parametricity import check_parametricity
 from ..lambda2.prelude import build_prelude
-from ..listset.analogy import analogous, deep_toset, induced_set_function
 from ..listset.setfuncs import (
     cardinality,
     poly,
     set_filter,
     set_ins,
-    set_map_fn,
     set_union,
 )
 from ..listset.transfer import (
     lemma_4_6_part1,
     lemma_4_6_part2,
-    lists_witness,
     transfer_parametricity,
 )
-from ..listset.typeclasses import classify_type, is_ltos, to_set_type
+from ..listset.typeclasses import is_ltos
 from ..mappings.extensions import REL, STRONG, ListRel, SetRelExt
 from ..mappings.generators import random_domain, random_mapping_in_class
 from ..mappings.mapping import Budget, Mapping
 from ..types.ast import INT, SetType, forall, func, set_of, tvar
 from ..types.parser import parse_type
-from ..types.values import CVList, CVSet, Tup, cvlist, cvset, tup
+from ..types.values import CVList, CVSet, Tup, cvlist
 from .report import ExperimentResult
 
 __all__ = [

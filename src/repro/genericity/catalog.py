@@ -30,7 +30,7 @@ while ``flatten`` and ``unnest`` stay fully generic in both modes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..algebra.derived_ops import antijoin, division, semijoin

@@ -17,13 +17,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Iterator, Optional, Sequence
+from typing import Iterator, Sequence
 
 from ..algebra.query import Query
-from ..mappings.extensions import REL, STRONG, ExtensionMode, extend_family
+from ..mappings.extensions import ExtensionMode
 from ..mappings.families import MappingFamily
 from ..mappings.generators import all_mappings_between
-from ..mappings.mapping import Mapping, Rel
+from ..mappings.mapping import Mapping
 from ..types.ast import (
     BagType,
     BaseType,

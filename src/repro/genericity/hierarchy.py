@@ -15,13 +15,12 @@ constrained rejection sampling for predicate preservation).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..mappings.families import (
     ConstantSpec,
     MappingFamily,
-    preserves_function,
     preserves_predicate,
 )
 from ..mappings.generators import (
@@ -32,7 +31,6 @@ from ..mappings.generators import (
 from ..mappings.mapping import Mapping
 from ..types.ast import INT, BaseType
 from ..types.signatures import Interpreted
-from ..types.values import Value
 
 __all__ = [
     "GenericitySpec",

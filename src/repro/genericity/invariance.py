@@ -15,11 +15,10 @@ use, so a reported violation is always a genuine counterexample.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..mappings.extensions import (
-    REL,
     STRONG,
     BagRelExt,
     BagStrongExt,
@@ -30,8 +29,8 @@ from ..mappings.extensions import (
     SetStrongExt,
 )
 from ..mappings.families import MappingFamily
-from ..mappings.mapping import Budget, Rel, Unenumerable
-from ..types.ast import BaseType, Type, TypeVar, free_type_vars, substitute
+from ..mappings.mapping import Rel
+from ..types.ast import BaseType, Type, free_type_vars, substitute
 from ..types.values import CVBag, CVList, CVSet, Tup, Value
 from ..algebra.query import Query
 

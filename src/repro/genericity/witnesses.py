@@ -16,8 +16,7 @@ from typing import Optional, Sequence
 
 from ..algebra.query import Query
 from ..mappings.extensions import ExtensionMode, REL
-from ..mappings.families import MappingFamily
-from ..types.ast import INT, BaseType, SetType, Type
+from ..types.ast import INT, BaseType, Type
 from ..types.values import Value
 from ..mappings.generators import random_value
 from .hierarchy import GenericitySpec

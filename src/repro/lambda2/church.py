@@ -15,13 +15,12 @@ can be tested against the prelude implementations.
 
 from __future__ import annotations
 
-from typing import Optional
 
-from ..types.ast import ForAll, FuncType, Type, TypeVar, forall, func
-from ..types.values import CVList, Value
+from ..types.ast import Type, TypeVar, forall, func
+from ..types.values import CVList
 from .eval import evaluate
-from .syntax import App, Lam, Term, Var, app, lam, tapp, tlam
-from .typecheck import check_term, synthesize
+from .syntax import Term, Var, app, lam, tapp, tlam
+from .typecheck import check_term
 
 __all__ = [
     "church_list_type",

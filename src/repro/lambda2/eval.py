@@ -13,7 +13,7 @@ semantic domain of Section 4.2.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping as TMapping, Optional
+from typing import Mapping as TMapping, Optional
 
 from ..mappings.function_maps import PolyValue
 from ..types.ast import Type

@@ -25,13 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..mappings.extensions import ListRel, ProductRel, SetRelExt
-from ..mappings.function_maps import ForAllRel, FuncRel, PolyValue
+from ..mappings.function_maps import ForAllRel, FuncRel
 from ..mappings.mapping import Budget, IdentityRel, Mapping, Rel
 from ..types.ast import (
-    BOOL,
     INT,
     STR,
     BagType,

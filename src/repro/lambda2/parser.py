@@ -26,7 +26,6 @@ constants.  Examples::
 from __future__ import annotations
 
 import re
-from typing import Optional
 
 from ..types.ast import Type
 from ..types.parser import parse_type

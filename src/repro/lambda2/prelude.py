@@ -17,13 +17,25 @@ needs equality, which is the paper's point about ``forall X=``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from ..types.ast import BOOL, INT, Type
 from ..types.parser import parse_type
-from ..types.values import CVList, Tup, Value
+from ..types.values import CVList, Tup
 from .eval import evaluate
-from .syntax import App, Const, Lam, Lit, MkTuple, Proj, Term, TLam, Var, app, lam, tapp, tlam
+from .syntax import (
+    App,
+    Const,
+    Lit,
+    MkTuple,
+    Proj,
+    Term,
+    Var,
+    app,
+    lam,
+    tapp,
+    tlam,
+)
 from .typecheck import Context, check_term
 from ..types.ast import FuncType, ListType, Product, TypeVar
 

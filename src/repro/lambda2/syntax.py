@@ -15,7 +15,6 @@ Terms are immutable dataclasses; the checker lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..types.ast import Type
 

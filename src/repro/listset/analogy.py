@@ -21,7 +21,7 @@ set), which the experiments demonstrate.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..types.ast import (
     BaseType,
@@ -31,7 +31,6 @@ from ..types.ast import (
     Product,
     SetType,
     Type,
-    TypeError_,
     TypeVar,
 )
 from ..types.values import CVList, CVSet, Tup, Value

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Callable
 
 from ..mappings.function_maps import PolyValue
-from ..types.ast import Type
 from ..types.values import CVSet, Tup, Value
 
 __all__ = [

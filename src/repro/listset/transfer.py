@@ -16,22 +16,20 @@ them over both the paper's witnesses and randomized instance families.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..mappings.extensions import ListRel, SetRelExt
 from ..mappings.function_maps import ForAllRel, FuncRel
-from ..mappings.mapping import Budget, Mapping, Rel
+from ..mappings.mapping import Budget, Rel
 from ..lambda2.parametricity import (
     Candidate,
     ParametricityReport,
-    default_candidates,
     logical_relation,
 )
-from ..types.ast import ForAll, FuncType, ListType, Type, strip_foralls
+from ..types.ast import FuncType, ListType, Type, strip_foralls
 from ..types.values import CVList, CVSet, Value
-from .analogy import analogous, deep_toset
+from .analogy import analogous
 from .typeclasses import is_ltos, to_set_type
 
 __all__ = [

@@ -15,15 +15,12 @@ from __future__ import annotations
 
 from ..types.ast import (
     BagType,
-    BaseType,
     ForAll,
     FuncType,
     ListType,
     Product,
     SetType,
     Type,
-    TypeError_,
-    TypeVar,
     strip_foralls,
 )
 

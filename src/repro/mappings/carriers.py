@@ -16,7 +16,7 @@ finite (dict-backed) functions for function relations.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from ..types.values import CVList, CVSet, Tup, Value
 from .extensions import ListRel, ProductRel, SetRelExt, SetStrongExt

@@ -16,11 +16,11 @@ Covers Sections 2.4 and 2.5 of the paper:
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Mapping as TMapping, Optional
+from typing import Mapping as TMapping, Optional
 
-from ..types.ast import BOOL, BaseType, Product, Type
+from ..types.ast import BaseType, Type
 from ..types.signatures import Interpreted
-from ..types.values import Tup, Value
+from ..types.values import Value
 from .extensions import REL, ExtensionMode, extend_family
 from .mapping import Budget, Mapping, Rel
 

@@ -14,10 +14,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..types.ast import ForAll, FuncType, Type
-from .mapping import Budget, Rel, Unenumerable
+from .mapping import Budget, Rel
 
 __all__ = ["FuncRel", "ForAllRel", "PolyValue"]
 

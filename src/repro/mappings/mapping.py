@@ -19,7 +19,7 @@ bounds the search; exceeding it raises :class:`Unenumerable`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional
 
 from ..types.ast import Type

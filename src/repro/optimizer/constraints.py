@@ -13,18 +13,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from ..types.values import CVSet, Tup
-from .plan import (
-    Difference,
-    Intersect,
-    Join,
-    MapNode,
-    Plan,
-    Product,
-    Project,
-    Scan,
-    Select,
-    Union,
-)
+from .plan import Difference, Intersect, Plan, Scan, Select, Union
 
 __all__ = ["RelationInfo", "Catalog", "base_relations", "projection_injective_on"]
 
@@ -82,28 +71,38 @@ class Catalog:
 
 
 def base_relations(plan: Plan) -> frozenset[str]:
-    """Names of all base relations a plan reads."""
-    if isinstance(plan, Scan):
-        return frozenset({plan.relation})
-    out: frozenset[str] = frozenset()
-    for child in plan.children():
-        out |= base_relations(child)
-    return out
+    """Names of all base relations a plan reads.
+
+    Explicit-stack traversal: safe on plans of arbitrary depth."""
+    out: set[str] = set()
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Scan):
+            out.add(node.relation)
+        else:
+            stack.extend(node.children())
+    return frozenset(out)
 
 
 def _columns_preserved(plan: Plan, columns: Sequence[int]) -> bool:
     """Conservative test: does ``plan`` pass base-relation columns
     through unchanged at the given positions?  True for scans,
-    selections and unions of such."""
-    if isinstance(plan, Scan):
-        return True
-    if isinstance(plan, Select):
-        return _columns_preserved(plan.child, columns)
-    if isinstance(plan, (Union, Difference, Intersect)):
-        return _columns_preserved(plan.left, columns) and _columns_preserved(
-            plan.right, columns
-        )
-    return False
+    selections and unions of such.  Iterative: selection/union chains
+    can be arbitrarily deep."""
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Scan):
+            continue
+        if isinstance(node, Select):
+            stack.append(node.child)
+        elif isinstance(node, (Union, Difference, Intersect)):
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            return False
+    return True
 
 
 def projection_injective_on(

@@ -14,13 +14,12 @@ the key) to show the verifier catching it.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Callable, Mapping as TMapping, Optional, Sequence
+from typing import Mapping as TMapping, Optional, Sequence
 
 from ..types.values import CVSet
 from .constraints import Catalog
-from .plan import ExecutionResult, Plan, execute
+from .plan import Plan
 from .rules import DEFAULT_RULES, RewriteRule
 
 __all__ = ["RewriteTrace", "Rewriter", "verify_equivalence"]
@@ -48,24 +47,57 @@ class Rewriter:
     rules: Sequence[RewriteRule] = DEFAULT_RULES
     trace: list[RewriteTrace] = field(default_factory=list)
 
+    # Work-item tags for the explicit-stack traversal below.
+    _VISIT, _COMBINE, _APPLY = 0, 1, 2
+
     def _rewrite_node(self, plan: Plan) -> Plan:
-        children = tuple(self._rewrite_node(c) for c in plan.children())
-        current = plan.with_children(children) if children else plan
-        changed = True
-        while changed:
-            changed = False
-            for rule in self.rules:
-                result = rule.apply(current, self.catalog)
-                if result is not None and result != current:
-                    self.trace.append(RewriteTrace(rule, current, result))
-                    # Rewritten node may expose new opportunities below.
-                    result = result.with_children(
-                        tuple(self._rewrite_node(c) for c in result.children())
-                    )
-                    current = result
-                    changed = True
-                    break
-        return current
+        """Bottom-up rewrite of one tree, without recursion.
+
+        Equivalent to the old recursive form: rewrite the children,
+        recombine, then apply rules at the node until none fires; when a
+        rule fires, the rewritten node's children are themselves
+        rewritten (they may expose new opportunities) before the rule
+        loop restarts at the recombined node.  An explicit stack keeps
+        plans of arbitrary depth safe from ``RecursionError``.
+        """
+        stack: list[tuple[int, Plan]] = [(self._VISIT, plan)]
+        results: list[Plan] = []
+        while stack:
+            action, node = stack.pop()
+            if action == self._VISIT:
+                children = node.children()
+                if children:
+                    stack.append((self._COMBINE, node))
+                    for child in reversed(children):
+                        stack.append((self._VISIT, child))
+                else:
+                    stack.append((self._APPLY, node))
+            elif action == self._COMBINE:
+                n = len(node.children())
+                children = tuple(results[-n:])
+                del results[-n:]
+                stack.append((self._APPLY, node.with_children(children)))
+            else:  # _APPLY: run the rule loop at a recombined node
+                fired = False
+                for rule in self.rules:
+                    result = rule.apply(node, self.catalog)
+                    if result is not None and result != node:
+                        self.trace.append(RewriteTrace(rule, node, result))
+                        # Rewritten node may expose new opportunities
+                        # below: rewrite its children, then re-enter the
+                        # rule loop on the recombined node.
+                        children = result.children()
+                        if children:
+                            stack.append((self._COMBINE, result))
+                            for child in reversed(children):
+                                stack.append((self._VISIT, child))
+                        else:
+                            stack.append((self._APPLY, result))
+                        fired = True
+                        break
+                if not fired:
+                    results.append(node)
+        return results.pop()
 
     def optimize(self, plan: Plan) -> Plan:
         """Rewrite ``plan`` to a fixpoint; the trace records each step."""

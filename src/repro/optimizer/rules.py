@@ -29,12 +29,10 @@ from .constraints import Catalog, projection_injective_on
 from .plan import (
     Difference,
     Intersect,
-    Join,
     MapNode,
     Plan,
     Product,
     Project,
-    Scan,
     Select,
     Union,
 )

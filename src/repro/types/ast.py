@@ -24,8 +24,8 @@ model this.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterator, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterator, Mapping
 
 __all__ = [
     "Type",

@@ -11,9 +11,9 @@ here: it carries callables alongside their declared types.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping, Optional
+from typing import Callable, Iterable, Optional
 
-from .ast import BOOL, FLOAT, INT, STR, BaseType, FuncType, Product, Type, TypeError_
+from .ast import BOOL, FLOAT, INT, STR, BaseType, FuncType, Type, TypeError_
 from .values import Value
 
 __all__ = [

@@ -52,7 +52,6 @@ class TestDivision:
 
     def test_matches_algebraic_definition(self):
         # R / S == pi1(R) - pi1((pi1(R) x S) - R)
-        import itertools
 
         r = cvset(tup("x", 1), tup("x", 2), tup("y", 2), tup("z", 1))
         s = cvset(tup(1), tup(2))

@@ -1,6 +1,5 @@
 """Tests for fixpoint and while operations."""
 
-import pytest
 
 from repro.algebra.fixpoint import (
     inflationary_fixpoint,

@@ -1,6 +1,5 @@
 """Tests for the relational operator catalog (Section 3)."""
 
-import pytest
 
 from repro.algebra.operators import (
     active_domain,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.engine.database import Database, SchemaError
-from repro.optimizer.plan import Project, Scan, Union
+from repro.optimizer.plan import Project, Scan
 from repro.types.values import CVSet, cvset, tup
 
 
@@ -83,7 +83,7 @@ class TestIncrementalMaintenance:
     def test_key_validated_incrementally_against_index(self, db):
         # Index exists after the first validated insert...
         db.insert("people", [(3, "cyd")])
-        assert ("people", (0,)) in db._eq_indexes
+        assert (0,) in db._eq_indexes.get("people", {})
         # ...and a conflicting batch is rejected without mutating.
         with pytest.raises(SchemaError):
             db.insert("people", [(4, "dan"), (3, "not-cyd")])
@@ -123,3 +123,34 @@ class TestIncrementalMaintenance:
         assert db.relation_weight("people") == 4
         db.insert("people", [(3, "cyd")])
         assert db.relation_weight("people") == 6
+
+
+class TestIndexScoping:
+    """Insert-time index maintenance touches only the inserted
+    relation's indexes (PR 2)."""
+
+    def test_insert_updates_only_target_relation_index(self, db):
+        db.create("log", 2)
+        db.insert("log", [(1, "a")])
+        db.equality_index("log", (0,))
+        log_index_before = {
+            k: list(v) for k, v in db.equality_index("log", (0,)).items()
+        }
+        db.insert("people", [(3, "cyd")])
+        assert {
+            k: list(v) for k, v in db.equality_index("log", (0,)).items()
+        } == log_index_before
+        assert (3,) in db.equality_index("people", (0,))
+
+    def test_insert_never_reads_other_relations_indexes(self, db):
+        db.create("log", 2)
+
+        class Poison(dict):
+            def items(self):
+                raise AssertionError(
+                    "insert iterated another relation's indexes"
+                )
+
+        db._eq_indexes["log"] = Poison()
+        db.insert("people", [(4, "dan")])  # must not touch log's indexes
+        assert tup(4, "dan") in db["people"]

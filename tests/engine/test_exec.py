@@ -22,8 +22,6 @@ from repro.optimizer.plan import (
     Difference,
     Intersect,
     Join,
-    MapNode,
-    Product,
     Project,
     Scan,
     Select,
@@ -225,7 +223,7 @@ class TestDatabaseExecution:
                          overlap=5)
         plan = Join(((0, 0),), Scan("employees"), Scan("students"))
         result = db.run(plan)
-        assert ("students", (0,)) in db._eq_indexes
+        assert (0,) in db._eq_indexes.get("students", {})
         reference = db.run_reference(plan)
         assert result.value == reference.value
         assert result.work == reference.work
@@ -238,3 +236,167 @@ class TestDatabaseExecution:
         plan = Project((0,), Scan("log"))
         db.run(plan, use_cache=False)
         assert len(db.plan_cache) == 0
+
+
+class TestSemanticCacheKeys:
+    """A predicate/function name rebound to a different callable must
+    never replay the old callable's answer (PR 2 regression)."""
+
+    def test_aliased_predicate_shared_cache_both_correct(self):
+        # The original poisoning repro: same name, two predicates, one
+        # shared cache.  A structurally-keyed cache returned the first
+        # answer for both.
+        db = {"p": CVSet(Tup((i,)) for i in range(5))}
+        cache = PlanCache()
+        plan1 = Select("p", lambda t: t[0] == 1, Scan("p"))
+        plan2 = Select("p", lambda t: t[0] == 2, Scan("p"))
+        first = execute_streaming(plan1, db, cache=cache)
+        second = execute_streaming(plan2, db, cache=cache)
+        assert first.value == execute_reference(plan1, db).value
+        assert second.value == execute_reference(plan2, db).value
+        assert first.value != second.value
+
+    def test_aliased_predicates_within_one_plan(self):
+        # The CSE memo has the same exposure: two same-named selections
+        # inside ONE plan are structurally equal but semantically
+        # different, and must both execute.
+        db = {"p": CVSet(Tup((i,)) for i in range(6))}
+        plan = Union(
+            Select("thresh", lambda t: t[0] < 2, Scan("p")),
+            Select("thresh", lambda t: t[0] >= 4, Scan("p")),
+        )
+        _assert_equivalent(
+            plan, db,
+            execute_streaming(plan, db),
+            execute_streaming(plan, db, cache=PlanCache()),
+        )
+
+    def test_on_alias_error_raises(self):
+        from repro.engine.exec import CacheInvariantError
+
+        db = {"p": CVSet(Tup((i,)) for i in range(3))}
+        cache = PlanCache(on_alias="error")
+        execute_streaming(
+            Select("p", lambda t: t[0] == 1, Scan("p")), db, cache=cache
+        )
+        with pytest.raises(CacheInvariantError):
+            execute_streaming(
+                Select("p", lambda t: t[0] == 2, Scan("p")), db,
+                cache=cache,
+            )
+
+    def test_recreated_closure_still_hits(self):
+        # The parser builds its comparison lambdas afresh per parse; a
+        # re-created closure with equal captures must keep the cache
+        # warm, not key apart.
+        def make(k):
+            return lambda t: t[0] == k
+
+        db = {"p": CVSet(Tup((i,)) for i in range(5))}
+        cache = PlanCache()
+        first = execute_streaming(
+            Select("eq", make(2), Scan("p")), db, cache=cache
+        )
+        cache.reset_stats()
+        second = execute_streaming(
+            Select("eq", make(2), Scan("p")), db, cache=cache
+        )
+        assert cache.hits >= 1
+        assert second.value == first.value
+        # ...while a *different* capture keys apart.
+        third = execute_streaming(
+            Select("eq", make(3), Scan("p")), db, cache=cache
+        )
+        assert third.value == cvset(tup(3))
+
+    def test_put_refreshes_existing_entry(self):
+        from repro.engine.exec import CacheEntry
+
+        cache = PlanCache(capacity=2)
+        entries = {
+            name: CacheEntry(cvset(tup(i)), i, ((name, i),), frozenset({name}))
+            for i, name in enumerate(("k1", "k2", "k3"))
+        }
+        cache.put("k1", entries["k1"])
+        cache.put("k2", entries["k2"])
+        replacement = CacheEntry(cvset(tup(9)), 9, (("k1", 9),),
+                                 frozenset({"k1"}))
+        cache.put("k1", replacement)  # refresh: newest value, MRU position
+        assert len(cache) == 2
+        assert cache.get("k1") is replacement
+        cache.put("k3", entries["k3"])  # evicts k2, not the refreshed k1
+        assert cache.get("k1") is replacement
+        assert cache.get("k2") is None
+
+    def test_zero_capacity_disables_caching_without_churn(self):
+        db = {"p": CVSet(Tup((i,)) for i in range(4))}
+        plan = Select("small", lambda t: t[0] < 2, Scan("p"))
+        for capacity in (0, -1):
+            cache = PlanCache(capacity)
+            result = execute_streaming(plan, db, cache=cache)
+            execute_streaming(plan, db, cache=cache)
+            assert result.value == execute_reference(plan, db).value
+            assert len(cache) == 0  # put is a no-op: no entry churn
+            assert cache.hits == 0
+
+
+class TestAtomRelations:
+    """Relations of bare atoms flow through every operator, including
+    the bulk scan-scan fast path (PR 2 regression: the bulk path
+    charged ``len(t)`` inline and raised ``TypeError`` on atoms)."""
+
+    def test_bulk_set_ops_over_atom_relations(self):
+        db = {"a": CVSet([1, 2, "x", "y"]), "b": CVSet([2, "y", 5])}
+        for op in (Union, Difference, Intersect):
+            plan = op(Scan("a"), Scan("b"))
+            _assert_equivalent(
+                plan, db,
+                execute_streaming(plan, db),
+                execute_streaming(plan, db, cache=PlanCache()),
+            )
+
+    def test_nested_set_ops_over_atom_relations(self):
+        db = {"a": CVSet([1, 2, 3]), "b": CVSet([2, 3, 4]),
+              "c": CVSet([3, "z"])}
+        plan = Difference(Union(Scan("a"), Scan("b")),
+                          Intersect(Scan("b"), Scan("c")))
+        _assert_equivalent(plan, db, execute_streaming(plan, db))
+
+
+class TestDeepPlans:
+    """Plans thousands of operators deep execute, optimize and account
+    without ``RecursionError`` (PR 2 regression)."""
+
+    DEPTH = 5000
+
+    def _chain(self):
+        from repro.engine.workload import deep_chain_plan
+
+        return deep_chain_plan(random.Random(7), "r", self.DEPTH)
+
+    def test_deep_chain_executes_with_parity(self):
+        db = {"r": CVSet(Tup((i, i + 1)) for i in range(6))}
+        plan = self._chain()
+        cache = PlanCache()
+        _assert_equivalent(
+            plan, db,
+            execute_streaming(plan, db),
+            execute_streaming(plan, db, cache=cache),
+            execute_streaming(plan, db, cache=cache),  # warm
+        )
+
+    def test_deep_chain_optimizes(self):
+        from repro.optimizer.constraints import Catalog
+        from repro.optimizer.rewriter import Rewriter
+
+        plan = self._chain()
+        optimized = Rewriter(Catalog()).optimize(plan)
+        db = {"r": CVSet(Tup((i, i + 1)) for i in range(4))}
+        assert (execute_streaming(optimized, db).value
+                == execute_reference(plan, db).value)
+
+    def test_deep_plan_hash_and_eq_are_iterative(self):
+        plan = self._chain()
+        other = self._chain()  # same seed: structurally identical
+        assert hash(plan) == hash(other)
+        assert plan == other

@@ -96,7 +96,6 @@ class TestDatabaseRoundtrip:
         )
 
     def test_plans_agree_after_reload(self, tmp_path):
-        from repro.optimizer.parser import parse_plan
 
         db = hr_database(random.Random(1), employees=8, students=5, overlap=1)
         path = tmp_path / "db.json"

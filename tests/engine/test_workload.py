@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.engine.workload import (
     hr_database,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.experiments.orders import monotone_family, select_less_than
 from repro.experiments.static_check import plan_as_query
@@ -42,7 +41,7 @@ class TestPlanAsQuery:
         assert query.fn(cvset(tup(1, 2))) == cvset(tup(2))
 
     def test_output_arity_tracking(self):
-        from repro.types.ast import Product as TypeProduct, SetType
+        from repro.types.ast import SetType
 
         plan = Project((0,), Difference(Scan("R"), Scan("S")))
         query = plan_as_query(plan, ("R", "S"))

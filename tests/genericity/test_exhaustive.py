@@ -1,6 +1,5 @@
 """Tests for the exhaustive (exact) verification tier."""
 
-import pytest
 
 from repro.algebra.operators import (
     eq_adom,
@@ -10,14 +9,9 @@ from repro.algebra.operators import (
     self_cross,
     union_op,
 )
-from repro.genericity.exhaustive import (
-    ExhaustiveReport,
-    all_values_of,
-    exhaustive_check,
-)
+from repro.genericity.exhaustive import all_values_of, exhaustive_check
 from repro.mappings.extensions import REL, STRONG
-from repro.types.ast import BOOL, INT, Product, bag_of, list_of, set_of
-from repro.types.values import CVBag, CVList, CVSet, Tup, cvset
+from repro.types.ast import BOOL, INT, bag_of, list_of, set_of
 
 
 class TestValueEnumeration:

@@ -2,9 +2,8 @@
 
 import random
 
-import pytest
 
-from repro.algebra.operators import projection, select_eq, self_compose, self_cross
+from repro.algebra.operators import projection, select_eq, self_compose
 from repro.genericity.invariance import (
     check_invariance,
     instantiate_at,
@@ -23,7 +22,7 @@ from repro.mappings.extensions import (
 from repro.mappings.families import MappingFamily
 from repro.mappings.mapping import Mapping
 from repro.types.ast import INT, STR, Product, set_of, tvar
-from repro.types.values import CVList, CVSet, cvlist, cvset, tup
+from repro.types.values import cvlist, cvset, tup
 
 
 def h() -> Mapping:

@@ -9,11 +9,9 @@ from repro.genericity.static_analysis import (
 )
 from repro.optimizer.plan import (
     Difference,
-    Intersect,
     Join,
     MapNode,
     Plan,
-    Product,
     Project,
     Scan,
     Select,

@@ -1,13 +1,7 @@
 """Tests for counterexample search."""
 
-import pytest
 
-from repro.algebra.operators import (
-    projection,
-    select_const,
-    select_eq,
-    self_cross,
-)
+from repro.algebra.operators import projection, select_eq
 from repro.genericity.hierarchy import GenericitySpec
 from repro.genericity.invariance import instantiate_at
 from repro.genericity.witnesses import find_counterexample, verify_witness

@@ -1,10 +1,7 @@
 """Tests for the Church (Boehm-Berarducci) list encodings."""
 
-import pytest
 
 from repro.lambda2.church import (
-    church_append,
-    church_cons,
     church_foldr_use,
     church_list_type,
     church_nil,
@@ -13,8 +10,8 @@ from repro.lambda2.church import (
     encode_list,
 )
 from repro.lambda2.eval import evaluate
-from repro.lambda2.typecheck import check_term, synthesize
-from repro.types.ast import INT, ForAll, forall, func, tvar
+from repro.lambda2.typecheck import synthesize
+from repro.types.ast import INT, ForAll
 from repro.types.values import CVList, cvlist
 
 

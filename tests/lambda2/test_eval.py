@@ -6,7 +6,6 @@ from repro.lambda2.eval import EvalError, evaluate
 from repro.lambda2.syntax import (
     App,
     Const,
-    Lam,
     Lit,
     MkTuple,
     Proj,

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.lambda2.free_theorems import (
-    check_functional_instance,
-    derive,
-    relational_statement,
-)
+from repro.lambda2.free_theorems import check_functional_instance, derive
 from repro.lambda2.prelude import build_prelude
 from repro.types.ast import INT
 from repro.types.parser import parse_type

@@ -9,8 +9,8 @@ from repro.lambda2.normalize import (
     substitute,
 )
 from repro.lambda2.parser import parse_term
-from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TLam, Var, lam, tapp, tlam
-from repro.types.ast import BOOL, INT, func, tvar
+from repro.lambda2.syntax import App, Lam, Lit, Var, lam, tapp, tlam
+from repro.types.ast import INT, tvar
 
 
 class TestFreeVars:
@@ -77,7 +77,7 @@ class TestNormalization:
 
     def test_church_append_normalizes_to_fold_shape(self):
         # c_append l1 l2 unfolds so that l1's eliminator is at the head.
-        from repro.lambda2.church import church_append, church_list_type
+        from repro.lambda2.church import church_append
 
         term = tapp(church_append(), INT)
         out = normalize(term)

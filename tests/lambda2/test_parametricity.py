@@ -13,9 +13,9 @@ from repro.listset.setfuncs import cardinality, poly, set_union
 from repro.mappings.extensions import ListRel, SetRelExt
 from repro.mappings.function_maps import ForAllRel, FuncRel
 from repro.mappings.mapping import IdentityRel, Mapping
-from repro.types.ast import BOOL, INT, TypeError_, forall, func, list_of, set_of, tvar
+from repro.types.ast import INT, TypeError_, func, list_of, set_of, tvar
 from repro.types.parser import parse_type
-from repro.types.values import CVList, cvlist
+from repro.types.values import cvlist
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,7 @@ from repro.lambda2.parser import TermParseError, parse_term
 from repro.lambda2.prelude import build_prelude
 from repro.lambda2.syntax import App, Const, Lam, Lit, MkTuple, Proj, TApp, TLam, Var
 from repro.lambda2.typecheck import check_term, synthesize
-from repro.types.ast import BOOL, INT, forall, func, tvar
+from repro.types.ast import BOOL, INT, func, tvar
 from repro.types.parser import parse_type
 from repro.types.values import Tup, cvlist
 

@@ -5,7 +5,7 @@ import pytest
 from repro.lambda2.prelude import build_prelude
 from repro.types.ast import INT, STR
 from repro.types.parser import parse_type
-from repro.types.values import CVList, Tup, cvlist
+from repro.types.values import Tup, cvlist
 
 
 @pytest.fixture(scope="module")

@@ -3,9 +3,8 @@
 from repro.lambda2.parser import parse_term
 from repro.lambda2.pretty import pretty
 from repro.lambda2.prelude import build_prelude
-from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TApp, TLam, Var
+from repro.lambda2.syntax import App, Lam, Lit, MkTuple, Proj, TLam, Var
 from repro.types.ast import BOOL, INT, forall, func, tvar
-from repro.types.parser import parse_type
 
 
 class TestRendering:

@@ -5,12 +5,10 @@ import pytest
 from repro.lambda2.syntax import (
     App,
     Const,
-    Lam,
     Lit,
     MkTuple,
     Proj,
     Var,
-    app,
     lam,
     tapp,
     tlam,
@@ -19,7 +17,6 @@ from repro.lambda2.typecheck import Context, TypeCheckError, check_term, synthes
 from repro.types.ast import (
     BOOL,
     INT,
-    ForAll,
     FuncType,
     Product,
     forall,

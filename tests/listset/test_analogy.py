@@ -11,9 +11,8 @@ from repro.listset.analogy import (
     toset,
 )
 from repro.listset.setfuncs import cardinality, set_union
-from repro.types.ast import INT, FuncType, Product, list_of, set_of, tvar
-from repro.types.parser import parse_type
-from repro.types.values import CVList, CVSet, Tup, cvlist, cvset, tup
+from repro.types.ast import INT, FuncType, Product, list_of
+from repro.types.values import Tup, cvlist, cvset, tup
 
 
 class TestToset:

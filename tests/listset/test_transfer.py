@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.lambda2.prelude import build_prelude
-from repro.listset.setfuncs import cardinality, poly, set_filter, set_union
+from repro.listset.setfuncs import cardinality, poly, set_union
 from repro.listset.transfer import (
     check_list_to_set_transfer,
     lemma_4_6_part1,
@@ -13,7 +13,7 @@ from repro.listset.transfer import (
     lists_witness,
     transfer_parametricity,
 )
-from repro.mappings.extensions import ListRel, SetRelExt
+from repro.mappings.extensions import ListRel
 from repro.mappings.generators import random_domain, random_mapping_in_class
 from repro.mappings.mapping import Mapping
 from repro.types.ast import INT, FuncType, Product, list_of

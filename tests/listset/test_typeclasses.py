@@ -1,6 +1,5 @@
 """Tests for s-to-l / l-to-s / LtoS type classifiers (Defs 4.8-4.12)."""
 
-import pytest
 
 from repro.listset.typeclasses import (
     classify_type,
@@ -10,18 +9,7 @@ from repro.listset.typeclasses import (
     to_list_type,
     to_set_type,
 )
-from repro.types.ast import (
-    INT,
-    ForAll,
-    ListType,
-    Product,
-    SetType,
-    forall,
-    func,
-    list_of,
-    set_of,
-    tvar,
-)
+from repro.types.ast import INT, Product, list_of, set_of, tvar
 from repro.types.parser import parse_type
 
 

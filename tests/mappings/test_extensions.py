@@ -14,14 +14,12 @@ from repro.mappings.extensions import (
     extend_along,
     extend_family,
 )
-from repro.mappings.families import MappingFamily
-from repro.mappings.mapping import IdentityRel, Mapping
+from repro.mappings.mapping import Mapping
 from repro.types.ast import (
     BOOL,
     INT,
     STR,
     Product,
-    SetType,
     TypeError_,
     list_of,
     set_of,

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.mappings.extensions import REL, STRONG
 from repro.mappings.families import (
     ConstantSpec,
     MappingFamily,

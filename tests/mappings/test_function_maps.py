@@ -1,12 +1,11 @@
 """Tests for function-type and forall-type mapping constructors (Defs 4.2-4.3)."""
 
-import pytest
 
-from repro.mappings.extensions import ListRel, ProductRel, SetRelExt
+from repro.mappings.extensions import ListRel
 from repro.mappings.function_maps import ForAllRel, FuncRel, PolyValue
 from repro.mappings.mapping import Budget, IdentityRel, Mapping
-from repro.types.ast import BOOL, INT, STR, forall, func, list_of, set_of, tvar
-from repro.types.values import CVList, cvlist, cvset, tup
+from repro.types.ast import BOOL, INT, forall, func, list_of, tvar
+from repro.types.values import cvlist
 
 
 def h() -> Mapping:

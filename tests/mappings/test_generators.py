@@ -20,7 +20,7 @@ from repro.mappings.generators import (
 )
 from repro.types.ast import BOOL, INT, STR, Product, TypeError_, bag_of, list_of, set_of
 from repro.types.typecheck import check_value
-from repro.types.values import CVBag, CVList, CVSet, Tup
+from repro.types.values import Tup
 
 
 class TestDomains:

@@ -4,9 +4,7 @@ import pytest
 
 from repro.types.ast import INT, STR
 from repro.mappings.mapping import (
-    Budget,
     ConstantGraphRel,
-    IdentityRel,
     Mapping,
     Unenumerable,
     identity_on,

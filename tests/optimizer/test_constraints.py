@@ -1,6 +1,5 @@
 """Tests for schema constraints and injectivity reasoning."""
 
-import pytest
 
 from repro.optimizer.constraints import (
     Catalog,
@@ -9,7 +8,7 @@ from repro.optimizer.constraints import (
     check_key_on_instance,
     projection_injective_on,
 )
-from repro.optimizer.plan import Difference, Project, Scan, Select, Union
+from repro.optimizer.plan import Difference, Project, Scan, Select
 from repro.types.values import cvset, tup
 
 

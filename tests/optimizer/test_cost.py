@@ -5,7 +5,7 @@ import random
 import pytest
 
 from repro.engine.workload import hr_database
-from repro.optimizer.cost import Estimate, Stats, choose_plan, estimate
+from repro.optimizer.cost import Stats, choose_plan, estimate
 from repro.optimizer.parser import parse_plan
 from repro.optimizer.plan import (
     Difference,
@@ -17,7 +17,6 @@ from repro.optimizer.plan import (
     Select,
     Union,
 )
-from repro.types.values import Tup, cvset, tup
 
 
 @pytest.fixture()

@@ -9,7 +9,6 @@ from repro.optimizer.plan import (
     Product,
     Project,
     Scan,
-    Select,
     Union,
     execute,
 )

@@ -13,7 +13,7 @@ import random
 
 from hypothesis import given, settings, strategies as st
 
-from repro.engine.workload import hr_database, random_database
+from repro.engine.workload import hr_database
 from repro.genericity.static_analysis import analyze_plan
 from repro.optimizer.plan import (
     Difference,

@@ -5,21 +5,17 @@ import random
 import pytest
 
 from repro.engine.workload import hr_database, random_database
-from repro.optimizer.constraints import Catalog, RelationInfo
 from repro.optimizer.plan import (
     Difference,
     Intersect,
     MapNode,
-    Product,
     Project,
     Scan,
     Select,
     Union,
-    execute,
 )
 from repro.optimizer.rewriter import Rewriter, verify_equivalence
-from repro.optimizer.rules import DEFAULT_RULES
-from repro.types.values import Tup, cvset, tup
+from repro.types.values import Tup
 
 
 @pytest.fixture()

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.algebra.operators import (
     difference_op,
@@ -24,8 +23,8 @@ from repro.listset.transfer import transfer_parametricity
 from repro.mappings.extensions import REL, STRONG
 from repro.mappings.families import MappingFamily
 from repro.mappings.mapping import Mapping
-from repro.optimizer.plan import Difference, Project, Scan, Union
-from repro.optimizer.rewriter import Rewriter, verify_equivalence
+from repro.optimizer.plan import Difference, Project, Scan
+from repro.optimizer.rewriter import Rewriter
 from repro.types.ast import STR
 from repro.types.parser import parse_type
 from repro.types.values import Tup, cvlist

@@ -12,16 +12,10 @@ from repro.algebra.fixpoint import transitive_closure
 from repro.algebra.operators import projection
 from repro.listset.analogy import deep_fromset, deep_toset
 from repro.listset.transfer import lemma_4_6_part1, lemma_4_6_part2
-from repro.mappings.extensions import (
-    REL,
-    STRONG,
-    ListRel,
-    SetRelExt,
-    SetStrongExt,
-)
+from repro.mappings.extensions import ListRel, SetRelExt, SetStrongExt
 from repro.mappings.mapping import Mapping
 from repro.types.ast import INT, list_of
-from repro.types.values import CVList, CVSet, Tup, cvset, map_atoms
+from repro.types.values import CVList, CVSet, Tup, map_atoms
 
 # ---------------------------------------------------------------------------
 # Strategies

@@ -8,14 +8,12 @@ from repro.types.ast import (
     STR,
     UNIT,
     BagType,
-    BaseType,
     ForAll,
     FuncType,
     ListType,
     Product,
     SetType,
     TypeError_,
-    TypeVar,
     alpha_equal,
     associated_types,
     bag_of,
@@ -27,7 +25,6 @@ from repro.types.ast import (
     is_complex_value_type,
     is_monomorphic,
     list_of,
-    product,
     rename_bound,
     set_of,
     strip_foralls,

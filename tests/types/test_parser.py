@@ -9,10 +9,7 @@ from repro.types.ast import (
     BagType,
     ForAll,
     FuncType,
-    ListType,
     Product,
-    SetType,
-    TypeVar,
     forall,
     func,
     list_of,

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.types.ast import BOOL, INT, STR, FuncType, TypeError_
+from repro.types.ast import INT, FuncType, TypeError_
 from repro.types.signatures import (
     ABSTRACT,
-    Interpreted,
     Signature,
     standard_signature,
     uninterpreted_signature,

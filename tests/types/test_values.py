@@ -1,12 +1,7 @@
 """Tests for complex value wrappers."""
 
-import pytest
 
 from repro.types.values import (
-    CVBag,
-    CVList,
-    CVSet,
-    Tup,
     atoms_of,
     cvbag,
     cvlist,
