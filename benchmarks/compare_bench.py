@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff two ``BENCH_*.json`` files.
+
+    python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.20]
+
+Benchmarks are matched by ``name``; within a benchmark, rows are
+matched by their ``"size"`` key when present, by position otherwise.
+Every shared numeric field ending in ``_s`` (a seconds measurement) is
+compared; a field regresses when ``new > old * (1 + threshold)``.
+Rows/fields present on only one side are reported but never fail the
+gate (suites are allowed to grow).  Sub-millisecond timings are noise
+on shared CI hardware, so rows where both sides are under
+``--min-seconds`` are skipped.
+
+Exit status: 0 when no shared measurement regressed, 1 otherwise.
+Stdlib only — runnable with no repo setup at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _iter_rows(benchmark: dict):
+    """Yield ``(row_key, row_dict)`` for a benchmark's comparable rows.
+
+    Suites with a ``rows`` list yield each entry (keyed by ``size``
+    when present, else by index); flat suites (a single dict of
+    measurements) yield themselves under the empty key.
+    """
+    rows = benchmark.get("rows")
+    if isinstance(rows, list):
+        for index, row in enumerate(rows):
+            if isinstance(row, dict):
+                key = f"size={row['size']}" if "size" in row else f"#{index}"
+                yield key, row
+    else:
+        yield "", benchmark
+
+
+def _timing_fields(row: dict) -> dict[str, float]:
+    return {
+        key: value
+        for key, value in row.items()
+        if key.endswith("_s") and isinstance(value, (int, float))
+    }
+
+
+def compare(
+    old: dict, new: dict, threshold: float, min_seconds: float
+) -> tuple[list[str], list[str]]:
+    """Returns ``(regressions, notes)`` comparing two bench documents."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    old_benchmarks = {
+        b.get("name"): b for b in old.get("benchmarks", []) if b.get("name")
+    }
+    new_benchmarks = {
+        b.get("name"): b for b in new.get("benchmarks", []) if b.get("name")
+    }
+    for name in old_benchmarks:
+        if name not in new_benchmarks:
+            notes.append(f"benchmark dropped: {name}")
+    for name in new_benchmarks:
+        if name not in old_benchmarks:
+            notes.append(f"benchmark added: {name}")
+
+    for name in sorted(set(old_benchmarks) & set(new_benchmarks)):
+        old_rows = dict(_iter_rows(old_benchmarks[name]))
+        new_rows = dict(_iter_rows(new_benchmarks[name]))
+        for key in old_rows:
+            if key not in new_rows:
+                notes.append(f"{name}[{key}]: row dropped")
+                continue
+            old_fields = _timing_fields(old_rows[key])
+            new_fields = _timing_fields(new_rows[key])
+            for field in sorted(set(old_fields) & set(new_fields)):
+                was, now = old_fields[field], new_fields[field]
+                if was < min_seconds and now < min_seconds:
+                    continue
+                if now > was * (1.0 + threshold):
+                    regressions.append(
+                        f"{name}[{key}].{field}: {was:.6f}s -> {now:.6f}s "
+                        f"(+{(now / max(was, 1e-12) - 1.0) * 100:.1f}%, "
+                        f"threshold +{threshold * 100:.0f}%)"
+                    )
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files; exit 1 on regression"
+    )
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed relative slowdown per row (default 0.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--min-seconds", type=float, default=1e-4,
+        help="ignore rows where both sides are below this (noise floor)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        old = json.loads(args.old.read_text())
+        new = json.loads(args.new.read_text())
+    except OSError as exc:
+        print(f"error: cannot read benchmark file: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    regressions, notes = compare(
+        old, new, args.threshold, args.min_seconds
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"+{args.threshold * 100:.0f}%:")
+        for line in regressions:
+            print(f"  {line}")
+        return 1
+    print(f"no regressions beyond +{args.threshold * 100:.0f}% "
+          f"({args.old.name} -> {args.new.name})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,272 +1,26 @@
 #!/usr/bin/env python3
-"""Benchmark runner: E-PERF sweep + executor micro-benchmarks.
+"""Benchmark runner shim.
 
-Writes ``BENCH_PR1.json`` at the repo root so the perf trajectory is
-tracked from PR 1 onward.  Run with:
+The suites live in :mod:`repro.bench` (importable, also reachable as
+``python -m repro bench``); this script only sets up ``sys.path`` for
+in-repo use:
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--skip-eperf]
+    PYTHONPATH=src python benchmarks/run_bench.py [--skip-eperf] [--quick]
 
-Measurements:
-
-* **plan execution** — reference interpreter vs streaming executor
-  (cold) vs warm result cache, on the HR workload at growing sizes and
-  on a deep pipelined plan where streaming avoids per-level
-  materialization;
-* **hash join** — multi-column build/probe vs the reference's
-  first-column index;
-* **cache hit ratio** — the invariance-style sweep: a fixed plan set
-  re-executed over the same database across repetitions, as the
-  Section 3/4 experiments do;
-* **E-PERF** — the existing ``bench_framework.py`` suite, run once via
-  pytest (assertion pass/fail + duration) unless ``--skip-eperf``.
+Writes ``BENCH_PR3.json`` by default; see ``repro.bench --help`` for
+the full option list and ``benchmarks/compare_bench.py`` for the
+regression gate over two such files.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import random
-import statistics
-import subprocess
 import sys
-import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.engine.exec import execute_streaming
-from repro.engine.workload import (  # noqa: E402
-    hr_database,
-    random_database,
-    random_plan,
-)
-from repro.optimizer.plan import (  # noqa: E402
-    Difference,
-    Join,
-    MapNode,
-    Project,
-    Scan,
-    Select,
-    Union,
-    execute_reference,
-)
-from repro.optimizer.rewriter import Rewriter  # noqa: E402
-
-
-def _time(fn, repeats: int = 5) -> float:
-    """Median wall-clock seconds of ``fn`` over ``repeats`` runs."""
-    samples = []
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        samples.append(time.perf_counter() - start)
-    return statistics.median(samples)
-
-
-def bench_plan_execution(sizes=(100, 400, 1600)) -> dict:
-    """HR workload: reference vs streaming (cold) vs warm cache."""
-    rows = []
-    for size in sizes:
-        db = hr_database(random.Random(4), employees=size,
-                         students=size // 2, overlap=size // 4)
-        plan = Project((0,), Difference(Scan("employees"),
-                                        Scan("students")))
-        reference_s = _time(lambda: execute_reference(plan, db.relations))
-        streaming_s = _time(
-            lambda: execute_streaming(plan, db.relations)
-        )
-        db.run(plan)  # warm
-        warm_s = _time(lambda: db.run(plan))
-        check = db.run(plan)
-        assert check.value == execute_reference(plan, db.relations).value
-        rows.append({
-            "size": size,
-            "reference_s": reference_s,
-            "streaming_cold_s": streaming_s,
-            "cached_warm_s": warm_s,
-            "streaming_speedup": reference_s / max(streaming_s, 1e-9),
-            "warm_speedup": reference_s / max(warm_s, 1e-9),
-        })
-    return {"name": "hr_plan_execution", "rows": rows}
-
-
-def bench_deep_pipeline(sizes=(400, 1600)) -> dict:
-    """A 6-operator pipeline: streaming pays no per-level CVSet build."""
-    rows = []
-    for size in sizes:
-        db = hr_database(random.Random(8), employees=size,
-                         students=size // 2, overlap=size // 4)
-        plan = Project(
-            (0,),
-            Select(
-                "always", lambda t: True,
-                MapNode(
-                    "swap", lambda t: t.project((2, 1, 0)),
-                    Select(
-                        "always", lambda t: True,
-                        Union(Scan("employees"), Scan("students")),
-                    ),
-                ),
-            ),
-        )
-        reference_s = _time(lambda: execute_reference(plan, db.relations))
-        streaming_s = _time(
-            lambda: execute_streaming(plan, db.relations)
-        )
-        rows.append({
-            "size": size,
-            "reference_s": reference_s,
-            "streaming_cold_s": streaming_s,
-            "streaming_speedup": reference_s / max(streaming_s, 1e-9),
-        })
-    return {"name": "deep_pipeline", "rows": rows}
-
-
-def bench_hash_join(sizes=(200, 800, 2000)) -> dict:
-    """Join build/probe micro-benchmark, multi-column ``on``."""
-    rows = []
-    for size in sizes:
-        rng = random.Random(9)
-        db = random_database(rng, ("a", "b"), arity=2,
-                             domain_size=max(size // 4, 4), max_rows=size)
-        plan = Join(((0, 0), (1, 1)), Scan("a"), Scan("b"))
-        reference_s = _time(lambda: execute_reference(plan, db))
-        streaming_s = _time(lambda: execute_streaming(plan, db))
-        rows.append({
-            "size": size,
-            "reference_s": reference_s,
-            "streaming_s": streaming_s,
-            "speedup": reference_s / max(streaming_s, 1e-9),
-        })
-    return {"name": "hash_join_build_probe", "rows": rows}
-
-
-def bench_cache_invariance_sweep(repetitions: int = 5) -> dict:
-    """The invariance/verification access pattern: a fixed plan set
-    re-executed over the same database, many times.
-
-    The first pass is cold (misses + populate); later passes should hit.
-    Reported hit rate covers the warm phase, plus the overall rate."""
-    db = hr_database(random.Random(12), employees=400, students=200,
-                     overlap=50)
-    rewriter = Rewriter(db.catalog)
-    base_plans = [
-        Project((0,), Union(Scan("employees"), Scan("students"))),
-        Project((0,), Difference(Scan("employees"), Scan("students"))),
-        Project((0,), Difference(Scan("employees"), Scan("contractors"))),
-        Join(((0, 0),), Scan("employees"), Scan("students")),
-        Project((0, 2), Select("always", lambda t: True,
-                               Union(Scan("employees"),
-                                     Scan("contractors")))),
-    ]
-    plans = base_plans + [rewriter.optimize(p) for p in base_plans]
-
-    def sweep():
-        for plan in plans:
-            db.run(plan)
-
-    sweep()  # cold pass
-    cold = db.plan_cache.stats()
-    db.plan_cache.reset_stats()
-    warm_start = time.perf_counter()
-    for _ in range(repetitions - 1):
-        sweep()
-    warm_elapsed = time.perf_counter() - warm_start
-    warm = db.plan_cache.stats()
-    return {
-        "name": "cache_invariance_sweep",
-        "plans": len(plans),
-        "repetitions": repetitions,
-        "cold": cold,
-        "warm": warm,
-        "warm_hit_rate": warm["hit_rate"],
-        "warm_elapsed_s": warm_elapsed,
-    }
-
-
-def bench_equivalence_spotcheck(pairs: int = 50) -> dict:
-    """Random-plan equivalence (the property-test workload), timed."""
-    rng = random.Random(77)
-    start = time.perf_counter()
-    for _ in range(pairs):
-        db = random_database(rng, ("r", "s", "t"), arity=2, domain_size=5,
-                             max_rows=10)
-        plan = random_plan(rng, ("r", "s", "t"), depth=3)
-        assert (
-            execute_streaming(plan, db).value
-            == execute_reference(plan, db).value
-        )
-    return {
-        "name": "random_plan_equivalence",
-        "pairs": pairs,
-        "elapsed_s": time.perf_counter() - start,
-    }
-
-
-def run_eperf() -> dict:
-    """The E-PERF sweep (bench_framework.py), one pass via pytest."""
-    start = time.perf_counter()
-    proc = subprocess.run(
-        [sys.executable, "-m", "pytest",
-         str(REPO_ROOT / "benchmarks" / "bench_framework.py"),
-         "-q", "--benchmark-disable", "-p", "no:cacheprovider"],
-        cwd=REPO_ROOT,
-        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
-        capture_output=True,
-        text=True,
-    )
-    return {
-        "name": "eperf_sweep",
-        "passed": proc.returncode == 0,
-        "elapsed_s": time.perf_counter() - start,
-        "tail": proc.stdout.strip().splitlines()[-1:] if proc.stdout else [],
-    }
-
-
-def main() -> None:
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--skip-eperf", action="store_true",
-                        help="skip the pytest E-PERF sweep")
-    parser.add_argument("--out", default=str(REPO_ROOT / "BENCH_PR1.json"))
-    args = parser.parse_args()
-
-    results = {
-        "pr": 1,
-        "title": "streaming execution engine",
-        "benchmarks": [],
-    }
-    for bench in (
-        bench_plan_execution,
-        bench_deep_pipeline,
-        bench_hash_join,
-        bench_cache_invariance_sweep,
-        bench_equivalence_spotcheck,
-    ):
-        result = bench()
-        results["benchmarks"].append(result)
-        print(f"[bench] {result['name']}: done")
-    if not args.skip_eperf:
-        result = run_eperf()
-        results["benchmarks"].append(result)
-        print(f"[bench] eperf_sweep: passed={result['passed']}")
-
-    hr_rows = results["benchmarks"][0]["rows"]
-    largest = hr_rows[-1]
-    sweep = next(b for b in results["benchmarks"]
-                 if b["name"] == "cache_invariance_sweep")
-    results["acceptance"] = {
-        "hr_largest_size": largest["size"],
-        "hr_warm_speedup_vs_reference": largest["warm_speedup"],
-        "hr_streaming_cold_speedup_vs_reference":
-            largest["streaming_speedup"],
-        "warm_cache_hit_rate": sweep["warm_hit_rate"],
-    }
-    out = Path(args.out)
-    out.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {out}")
-    print(json.dumps(results["acceptance"], indent=2))
-
+from repro.bench import main  # noqa: E402
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

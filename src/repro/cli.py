@@ -4,15 +4,19 @@
 
     python -m repro list                      # experiment ids
     python -m repro run E-2.2 [E-2.6 ...]     # run experiments, print tables
-    python -m repro run --all
-    python -m repro classify sigma_eq         # classify a named operation
+    python -m repro run --all [--jobs N]
+    python -m repro classify sigma_eq [--jobs N]   # classify an operation
     python -m repro optimize "pi[1](employees - students)"
-    python -m repro fuzz --seeds 200          # streaming-vs-reference fuzz
+    python -m repro fuzz --seeds 200 [--jobs N]    # differential fuzz
+    python -m repro bench [--out FILE] [--quick]   # benchmark suites
     python -m repro writeup [path]            # regenerate EXPERIMENTS.md
 
 ``classify`` accepts the named operations of the built-in catalog;
 ``optimize`` runs the rewriter against the demo HR catalog and prints
-the trace with its genericity/parametricity justifications.
+the trace with its genericity/parametricity justifications.  Every
+``--jobs N`` shards independent work units across ``N`` worker
+processes (:mod:`repro.parallel`) with output byte-identical to the
+serial run.
 """
 
 from __future__ import annotations
@@ -58,19 +62,20 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from .experiments.registry import EXPERIMENTS, run
+    from .experiments.registry import EXPERIMENTS, run_all
     from .experiments.report import render
 
     ids = list(EXPERIMENTS) if args.all else args.ids
     if not ids:
         print("no experiment ids given (use --all)", file=sys.stderr)
         return 2
-    failures = 0
     for exp_id in ids:
         if exp_id not in EXPERIMENTS:
             print(f"unknown experiment {exp_id}", file=sys.stderr)
             return 2
-        result = run(exp_id)
+    results = run_all(ids, jobs=args.jobs)
+    failures = 0
+    for result in results:
         print(render(result))
         print()
         failures += 0 if result.matches_paper else 1
@@ -88,6 +93,16 @@ def _cmd_classify(args: argparse.Namespace) -> int:
         names = ", ".join(sorted(OPERATION_CATALOG))
         print(f"unknown operation; choose from: {names}", file=sys.stderr)
         return 2
+    if args.jobs > 1:
+        # Parallel path: shard the (spec, mode) grid across processes.
+        # Renders the exact text of the serial path below.
+        from .parallel import render_verdicts, sweep_invariance
+
+        verdicts = sweep_invariance(
+            [args.operation], trials=args.trials, jobs=args.jobs
+        )
+        print(render_verdicts(verdicts))
+        return 0
     query = OPERATION_CATALOG[args.operation]()
     row = classify(query, trials=args.trials)
     print(f"classification of {query.name} : "
@@ -147,9 +162,22 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         base_seed=args.base_seed,
         deep_every=args.deep_every,
         scenarios=scenarios,
+        jobs=args.jobs,
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    argv = ["--out", args.out]
+    if args.quick:
+        argv.append("--quick")
+    if args.skip_eperf:
+        argv.append("--skip-eperf")
+    argv += ["--jobs", str(args.jobs)]
+    return bench_main(argv)
 
 
 def _cmd_writeup(args: argparse.Namespace) -> int:
@@ -172,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser = sub.add_parser("run", help="run experiments")
     run_parser.add_argument("ids", nargs="*", help="experiment ids")
     run_parser.add_argument("--all", action="store_true")
+    run_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes (results identical to --jobs 1)",
+    )
     run_parser.set_defaults(fn=_cmd_run)
 
     classify_parser = sub.add_parser(
@@ -179,6 +211,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     classify_parser.add_argument("operation")
     classify_parser.add_argument("--trials", type=int, default=30)
+    classify_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the lattice sweep (same output)",
+    )
     classify_parser.set_defaults(fn=_cmd_classify)
 
     optimize_parser = sub.add_parser(
@@ -204,7 +240,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenarios", nargs="*", default=None,
         help="restrict to named scenarios (default: all)",
     )
+    fuzz_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="shard seeds across worker processes (same report)",
+    )
     fuzz_parser.set_defaults(fn=_cmd_fuzz)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the benchmark suites and write a BENCH json"
+    )
+    bench_parser.add_argument(
+        "--out", default="BENCH_PR3.json",
+        help="output path (default: BENCH_PR3.json)",
+    )
+    bench_parser.add_argument(
+        "--quick", action="store_true",
+        help="small sizes / few repeats, for CI smoke",
+    )
+    bench_parser.add_argument(
+        "--skip-eperf", action="store_true",
+        help="skip the pytest-based micro-benchmark tier",
+    )
+    bench_parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker processes for the parallel suites (0 = all cores)",
+    )
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     writeup_parser = sub.add_parser(
         "writeup", help="regenerate EXPERIMENTS.md"

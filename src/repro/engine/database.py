@@ -62,6 +62,10 @@ class Database:
         self._eq_indexes: dict[str, dict[tuple[int, ...], dict]] = {}
         self._atoms: dict[str, frozenset] = {}
         self._weights: dict[str, int] = {}
+        #: ``name -> uniform element len`` (or None when mixed/atoms);
+        #: lets the batch executor compute intermediate weights as
+        #: ``count * width`` instead of per-tuple sums.
+        self._widths: dict[str, Optional[int]] = {}
 
     def create(
         self,
@@ -118,6 +122,11 @@ class Database:
             self._atoms[name] = self._atoms[name] | extra
         if name in self._weights:
             self._weights[name] += sum(tuple_weight(t) for t in new_rows)
+        if self._widths.get(name, info.arity) != info.arity:
+            # Inserted rows all have the declared arity; a differing
+            # cached width (stale from a wholesale replacement) means
+            # the relation is now mixed-width.
+            self._widths[name] = None
         self.plan_cache.invalidate(name)
 
     def _validate_key_batch(
@@ -185,6 +194,32 @@ class Database:
             self._weights[name] = weight
         return weight
 
+    def relation_width(self, name: str) -> Optional[int]:
+        """Cached uniform element length of a relation, or ``None`` when
+        elements are mixed-width or atoms (computed once, maintained on
+        insert, dropped on wholesale replacement)."""
+        if name not in self._widths:
+            self._widths[name] = self._compute_width(name)
+        return self._widths[name]
+
+    def _compute_width(self, name: str) -> Optional[int]:
+        width: Optional[int] = None
+        for t in self.relations.get(name, _EMPTY):
+            try:
+                n = len(t)
+            except TypeError:
+                return None
+            if width is None:
+                width = n
+            elif width != n:
+                return None
+        return width
+
+    def relation_stats(self, name: str) -> tuple[int, Optional[int]]:
+        """The batch executor's ``relation_stats`` hook: cached
+        ``(scan weight, uniform width)`` for one relation."""
+        return (self.relation_weight(name), self.relation_width(name))
+
     def atoms_in(self, name: str) -> frozenset:
         """Cached atom set of one relation."""
         atoms = self._atoms.get(name)
@@ -199,6 +234,7 @@ class Database:
     def _invalidate_relation(self, name: str) -> None:
         self._atoms.pop(name, None)
         self._weights.pop(name, None)
+        self._widths.pop(name, None)
         self._eq_indexes.pop(name, None)
         self.plan_cache.invalidate(name)
 
@@ -240,13 +276,20 @@ class Database:
     # ------------------------------------------------------------------
     # Execution.
 
-    def run(self, plan: Plan, *, use_cache: bool = True) -> ExecutionResult:
-        """Execute a plan with the streaming engine (cached by default)."""
+    def run(
+        self, plan: Plan, *, use_cache: bool = True, mode: str = "stream"
+    ) -> ExecutionResult:
+        """Execute a plan with the streaming engine (cached by default).
+
+        ``mode="batch"`` uses the operator-at-a-time batch executor —
+        identical results, fastest cold path; see docs/EXECUTION.md."""
         return execute_streaming(
             plan,
             self.relations,
             cache=self.plan_cache if use_cache else None,
             key_index=self._join_index,
+            mode=mode,
+            relation_stats=self.relation_stats,
         )
 
     def run_reference(self, plan: Plan) -> ExecutionResult:

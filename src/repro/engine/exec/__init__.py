@@ -7,6 +7,7 @@ predicate-name invariant), deep-plan safety, and how work accounting
 maps onto the Section 4.4 cost model.
 """
 
+from .batch import execute_batch
 from .cache import CacheEntry, CacheInvariantError, PlanCache
 from .executor import MAX_PIPELINE_DEPTH, execute_streaming, subtree_counts
 from .fingerprint import (
@@ -24,6 +25,7 @@ __all__ = [
     "CacheInvariantError",
     "PlanCache",
     "MAX_PIPELINE_DEPTH",
+    "execute_batch",
     "execute_streaming",
     "subtree_counts",
     "annotate_plan",

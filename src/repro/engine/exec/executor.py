@@ -119,12 +119,33 @@ def execute_streaming(
     *,
     cache: Optional[PlanCache] = None,
     key_index: Optional[KeyIndex] = None,
+    mode: str = "stream",
+    relation_stats=None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` with the streaming engine.
 
     Returns an :class:`ExecutionResult` identical (value, work,
     per-node ledger) to :func:`repro.optimizer.plan.execute_reference`.
+
+    ``mode="batch"`` routes to the operator-at-a-time batch executor
+    (:func:`~repro.engine.exec.batch.execute_batch`) — same contract,
+    same cache keys, no per-tuple generator pipeline; the fastest cold
+    path.  ``relation_stats`` (used by batch mode only) supplies cached
+    scan weights and uniform tuple widths so base relations are not
+    re-weighed per execution.
     """
+    if mode == "batch":
+        from .batch import execute_batch
+
+        return execute_batch(
+            plan,
+            db,
+            cache=cache,
+            key_index=key_index,
+            relation_stats=relation_stats,
+        )
+    if mode != "stream":
+        raise ValueError(f"mode must be 'stream' or 'batch', got {mode!r}")
     if cache is not None:
         # Shared interning: tokens (and alias ordinals) are stable
         # across executions, so warm lookups hit.

@@ -20,13 +20,23 @@ plans; this harness hammers it with generated ones:
   mutated between runs (inserts and wholesale replacement), checking
   that invalidation keeps the shared cache honest.
 
-Every generated plan is executed in up to three modes — cold (no
-cache), fresh cache (cold run then warm re-run), and a cache shared
-across the whole scenario — and each run is compared against the
+Every generated plan is executed in up to six modes — streaming cold
+(no cache), streaming fresh cache (cold run then warm re-run),
+streaming against a cache shared across the whole scenario, and the
+same three for the batch executor (the batch-shared run probes the
+*same* shared cache the streaming runs populate, so cross-mode cache
+interop is fuzzed too) — and each run is compared against the
 reference.  Any mismatch is recorded as a :class:`Divergence`.
 
+Seeds are independent by construction: every scenario derives its rng
+as ``derive_rng(base_seed, i, scenario)``, so seed ``i`` plays the same
+plans regardless of how many seeds run or which process runs it.  That
+is what lets ``run_fuzz(jobs=N)`` shard seeds across worker processes
+(:func:`repro.parallel.parallel_map`) and still merge a byte-identical
+report.
+
 Entry points: :func:`run_fuzz` (library) and ``python -m repro fuzz
---seeds N`` (CLI, exits non-zero on divergence).
+--seeds N [--jobs N]`` (CLI, exits non-zero on divergence).
 """
 
 from __future__ import annotations
@@ -47,9 +57,10 @@ from ..optimizer.plan import (
 )
 from ..types.values import CVSet, Tup, Value
 from .database import Database
-from .exec import PlanCache, execute_streaming
+from .exec import PlanCache, execute_batch, execute_streaming
 from .workload import (
     deep_chain_plan,
+    derive_rng,
     random_atom_database,
     random_database,
     random_nested_database,
@@ -146,12 +157,25 @@ class _Checker:
         if detail is not None:
             self._record(mode, detail)
 
+    #: Streaming and batch variants of every cache state.  The
+    #: batch-shared run probes the same cache the streaming runs
+    #: populate (and vice versa), so the modes also fuzz cross-executor
+    #: cache interop.
+    ALL_MODES = (
+        "cold",
+        "fresh",
+        "shared",
+        "batch-cold",
+        "batch-fresh",
+        "batch-shared",
+    )
+
     def check(
         self,
         plan: Plan,
         db: TMapping[str, CVSet],
         *,
-        modes: tuple[str, ...] = ("cold", "fresh", "shared"),
+        modes: tuple[str, ...] = ALL_MODES,
     ) -> None:
         reference = execute_reference(plan, db)
         if "cold" in modes:
@@ -172,6 +196,26 @@ class _Checker:
             self._compare(
                 "shared",
                 execute_streaming(plan, db, cache=self.shared),
+                reference,
+            )
+        if "batch-cold" in modes:
+            self._compare("batch-cold", execute_batch(plan, db), reference)
+        if "batch-fresh" in modes:
+            fresh = PlanCache()
+            self._compare(
+                "batch-fresh-cold",
+                execute_batch(plan, db, cache=fresh),
+                reference,
+            )
+            self._compare(
+                "batch-fresh-warm",
+                execute_batch(plan, db, cache=fresh),
+                reference,
+            )
+        if "batch-shared" in modes:
+            self._compare(
+                "batch-shared",
+                execute_batch(plan, db, cache=self.shared),
                 reference,
             )
 
@@ -263,8 +307,10 @@ def _scenario_deep(rng: random.Random, check: _Checker) -> None:
     db = random_database(rng, _NAMES)
     depth = rng.randint(600, 1500)
     plan = deep_chain_plan(rng, rng.choice(_NAMES), depth)
-    # Deep chains are expensive; skip the redundant fresh-cache pair.
-    check.check(plan, db, modes=("cold", "shared"))
+    # Deep chains are expensive; skip the redundant fresh-cache pairs.
+    # batch-cold rides along to pin the batch executor's explicit-stack
+    # depth safety.
+    check.check(plan, db, modes=("cold", "shared", "batch-cold"))
 
 
 def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
@@ -282,6 +328,9 @@ def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
     for _ in range(3):
         plan = random_plan(rng, _NAMES, depth=rng.randint(1, 3))
         check._compare("db-warmup", db.run(plan), db.run_reference(plan))
+        check._compare(
+            "db-batch", db.run(plan, mode="batch"), db.run_reference(plan)
+        )
         victim = rng.choice(_NAMES)
         if rng.random() < 0.5:
             db.insert(
@@ -295,6 +344,11 @@ def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
                 for _ in range(rng.randint(0, 6))
             )
         check._compare("db-mutated", db.run(plan), db.run_reference(plan))
+        check._compare(
+            "db-mutated-batch",
+            db.run(plan, mode="batch"),
+            db.run_reference(plan),
+        )
 
 
 SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
@@ -307,12 +361,55 @@ SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
 }
 
 
+def _seed_scenarios(
+    i: int, active: tuple[str, ...], deep_every: int
+) -> list[str]:
+    """Which scenarios seed ``i`` plays (cheap rotation + periodic deep)."""
+    cheap = [name for name in active if name != "deep"]
+    names: list[str] = []
+    if cheap:
+        names.append(cheap[i % len(cheap)])
+    if "deep" in active and deep_every > 0 and i % deep_every == 0:
+        names.append("deep")
+    return names
+
+
+def _fuzz_one_seed(
+    task: tuple[int, int, tuple[str, ...], int]
+) -> FuzzReport:
+    """Run one seed's scenarios into a single-seed report.
+
+    Top-level (picklable) so :func:`repro.parallel.parallel_map` can
+    ship it to worker processes; the rng is derived from the task alone,
+    so the result is identical wherever it runs.
+    """
+    base_seed, i, active, deep_every = task
+    report = FuzzReport(seeds=1)
+    for name in _seed_scenarios(i, active, deep_every):
+        rng = derive_rng(base_seed, i, name)
+        SCENARIOS[name](rng, _Checker(report, base_seed + i, name))
+    return report
+
+
+def _merge_reports(parts: list[FuzzReport]) -> FuzzReport:
+    """Concatenate per-seed reports in seed order."""
+    merged = FuzzReport()
+    for part in parts:
+        merged.seeds += part.seeds
+        merged.checks += part.checks
+        merged.divergences.extend(part.divergences)
+        for name, n in part.per_scenario.items():
+            merged.per_scenario[name] = merged.per_scenario.get(name, 0) + n
+    return merged
+
+
 def run_fuzz(
     seeds: int,
     *,
     base_seed: int = 0,
     deep_every: int = 10,
     scenarios: Optional[tuple[str, ...]] = None,
+    jobs: int = 1,
 ) -> FuzzReport:
     """Run ``seeds`` differential fuzz iterations.
 
@@ -320,22 +417,20 @@ def run_fuzz(
     scenario runs every ``deep_every``-th seed.  ``scenarios`` restricts
     the set (by name) when given.  Determinism: seed ``i`` always plays
     the same plans against the same databases, independent of the
-    overall count.
+    overall count and of ``jobs`` — with ``jobs > 1`` the seeds are
+    sharded across worker processes and the per-seed reports merged in
+    seed order, so the report (and its rendered summary) is identical
+    to the serial run's.
     """
     active = tuple(scenarios) if scenarios is not None else tuple(SCENARIOS)
     unknown = [name for name in active if name not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
-    report = FuzzReport()
-    cheap = [name for name in active if name != "deep"]
-    for i in range(seeds):
-        report.seeds += 1
-        names: list[str] = []
-        if cheap:
-            names.append(cheap[i % len(cheap)])
-        if "deep" in active and deep_every > 0 and i % deep_every == 0:
-            names.append("deep")
-        for name in names:
-            rng = random.Random(f"{base_seed}/{i}/{name}")
-            SCENARIOS[name](rng, _Checker(report, base_seed + i, name))
-    return report
+    tasks = [(base_seed, i, active, deep_every) for i in range(seeds)]
+    if jobs > 1:
+        from ..parallel import parallel_map
+
+        parts = parallel_map(_fuzz_one_seed, tasks, jobs=jobs)
+    else:
+        parts = [_fuzz_one_seed(task) for task in tasks]
+    return _merge_reports(parts)

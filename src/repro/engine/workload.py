@@ -33,6 +33,7 @@ from ..types.values import CVList, CVSet, Tup, Value
 from .database import Database
 
 __all__ = [
+    "derive_rng",
     "random_graph",
     "layered_graph",
     "paper_r1",
@@ -46,6 +47,20 @@ __all__ = [
     "random_atom_database",
     "random_nested_database",
 ]
+
+
+def derive_rng(*parts: object) -> random.Random:
+    """A fresh, explicitly-seeded rng keyed by a path of parts.
+
+    ``derive_rng(base_seed, i, scenario)`` gives every (seed, scenario)
+    cell of a sweep its own independent stream — never the module-level
+    ``random`` state — so a cell draws the same values whether it runs
+    serially or on any worker process of a parallel shard, in any
+    order.  The key is the ``/``-joined ``str`` of the parts, so
+    ``derive_rng(0, 3, "deep")`` reproduces the historical seeding
+    ``random.Random("0/3/deep")`` exactly.
+    """
+    return random.Random("/".join(str(p) for p in parts))
 
 
 def random_graph(

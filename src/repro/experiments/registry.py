@@ -93,14 +93,28 @@ def run(exp_id: str) -> ExperimentResult:
     return EXPERIMENTS[exp_id]()
 
 
-def run_all(ids: Iterable[str] | None = None, verbose: bool = False) -> list[ExperimentResult]:
-    """Run all (or the selected) experiments; optionally print reports."""
+def run_all(
+    ids: Iterable[str] | None = None,
+    verbose: bool = False,
+    jobs: int = 1,
+) -> list[ExperimentResult]:
+    """Run all (or the selected) experiments; optionally print reports.
+
+    Experiments are independent (each seeds its own rng), so with
+    ``jobs > 1`` they are sharded across worker processes via
+    :func:`repro.parallel.parallel_map`; results come back in id order
+    either way, and reports are printed only after the whole batch
+    completes so the rendered output matches the serial run's.
+    """
     selected = list(ids) if ids is not None else list(EXPERIMENTS)
-    results = []
-    for exp_id in selected:
-        result = run(exp_id)
-        results.append(result)
-        if verbose:
+    if jobs > 1:
+        from ..parallel import parallel_map
+
+        results = parallel_map(run, selected, jobs=jobs)
+    else:
+        results = [run(exp_id) for exp_id in selected]
+    if verbose:
+        for result in results:
             print(render(result))
             print()
     return results

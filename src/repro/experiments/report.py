@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["ExperimentResult", "format_table", "render"]
+__all__ = ["ExperimentResult", "format_table", "render", "render_many"]
 
 
 @dataclass
@@ -68,3 +68,12 @@ def render(result: ExperimentResult) -> str:
         parts.append(f"   notes: {result.notes}")
     parts.append(format_table(result.columns, result.rows))
     return "\n".join(parts)
+
+
+def render_many(results: Sequence[ExperimentResult]) -> str:
+    """Render a batch of reports as one stable text block.
+
+    Used by the parallel registry path for serial-vs-parallel output
+    comparison: the text depends only on the results and their order.
+    """
+    return "\n\n".join(render(result) for result in results)

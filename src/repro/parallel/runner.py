@@ -1,0 +1,89 @@
+"""Deterministic multiprocess fan-out for embarrassingly parallel sweeps.
+
+The repo's empirical checkers — invariance/genericity sweeps, the
+experiment registry, differential fuzzing — are per-instance
+independent: every cell derives its own rng from its identity (seed,
+cell name, ...) and never touches shared state.  That makes them safe
+to shard across processes, *provided the harness adds no
+nondeterminism of its own*.  :func:`parallel_map` guarantees that:
+
+* **deterministic sharding** — items are split into contiguous chunks
+  in input order (no work stealing, no hash partitioning);
+* **chunked submission** — one executor task per chunk, not per item,
+  so pickling overhead amortizes over ``chunk_size`` items;
+* **ordered merge** — results are reassembled in submission order, so
+  the output list is exactly ``[worker(x) for x in items]`` regardless
+  of which process finished first;
+* **serial reference path** — ``jobs <= 1`` runs the plain list
+  comprehension in-process.  Byte-identical output between the two
+  paths is the harness's contract (and is asserted by the benchmarks).
+
+Workers must be top-level (picklable-by-reference) functions, and both
+items and results must pickle.  Objects that close over lambdas (e.g.
+:class:`~repro.algebra.query.Query`) can't cross the process boundary;
+ship *names* instead and reconstruct inside the worker — see
+:mod:`repro.parallel.sweeps`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
+
+__all__ = ["parallel_map", "chunked", "default_jobs"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_jobs() -> int:
+    """Worker count when the caller asks for "all cores"."""
+    return os.cpu_count() or 1
+
+
+def chunked(items: Sequence[T], chunk_size: int) -> Iterator[Sequence[T]]:
+    """Contiguous, order-preserving chunks of ``items``."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, len(items), chunk_size):
+        yield items[start : start + chunk_size]
+
+
+def _apply_chunk(payload: tuple[Callable[[T], R], Sequence[T]]) -> list[R]:
+    """Worker-side: run one chunk through the worker, preserving order."""
+    worker, chunk = payload
+    return [worker(item) for item in chunk]
+
+
+def parallel_map(
+    worker: Callable[[T], R],
+    items: Iterable[T],
+    *,
+    jobs: int = 1,
+    chunk_size: Optional[int] = None,
+) -> list[R]:
+    """``[worker(x) for x in items]``, optionally sharded across processes.
+
+    With ``jobs <= 1`` (or fewer than two items) this *is* the list
+    comprehension — the serial reference path.  Otherwise items are
+    split into contiguous chunks (default: ~4 chunks per worker, so a
+    slow chunk can't straggle the whole run), each chunk is one
+    :class:`~concurrent.futures.ProcessPoolExecutor` task, and results
+    are merged back in submission order.  ``worker`` must be a
+    top-level function; items and results must pickle.
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [worker(item) for item in work]
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(work) // (jobs * 4)))
+    chunks = list(chunked(work, chunk_size))
+    merged: list[R] = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
+        futures = [
+            pool.submit(_apply_chunk, (worker, chunk)) for chunk in chunks
+        ]
+        for future in futures:  # submission order == input order
+            merged.extend(future.result())
+    return merged

@@ -1,0 +1,210 @@
+"""Batch-mode executor parity tests.
+
+``execute_batch`` (reached via ``execute_streaming(mode="batch")`` and
+``Database.run(mode="batch")``) carries the same contract as the
+streaming engine: identical ``CVSet`` answer, identical total work,
+identical per-node ledger as the reference interpreter — for every
+plan, every database shape, every cache state — while sharing the
+streaming engine's semantic cache keys, so entries written by either
+executor are hits for the other.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.exec import PlanCache, execute_batch, execute_streaming
+from repro.engine.workload import (
+    deep_chain_plan,
+    hr_database,
+    random_atom_database,
+    random_database,
+    random_nested_database,
+    random_plan,
+)
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute_reference,
+)
+from repro.types.values import CVSet, Tup
+
+NAMES = ("r", "s", "t")
+
+
+def _assert_equivalent(plan, db, *results):
+    reference = execute_reference(plan, db)
+    for result in results:
+        assert result.value == reference.value
+        assert result.work == reference.work
+        assert result.per_node == reference.per_node
+
+
+class TestBatchEquivalence:
+    def test_random_plans_match_reference(self):
+        """Random plan/db pairs: batch cold, fresh-cache cold and warm
+        all agree with the reference, including work and ledger."""
+        rng = random.Random(20260807)
+        for _ in range(80):
+            db = random_database(
+                rng, NAMES, arity=2, domain_size=5,
+                max_rows=rng.randint(0, 12),
+            )
+            plan = random_plan(rng, NAMES, depth=rng.randint(1, 4))
+            cache = PlanCache()
+            _assert_equivalent(
+                plan, db,
+                execute_batch(plan, db),
+                execute_batch(plan, db, cache=cache),
+                execute_batch(plan, db, cache=cache),  # warm
+            )
+
+    def test_nested_value_databases(self):
+        rng = random.Random(7)
+        for _ in range(25):
+            db = random_nested_database(rng, NAMES)
+            plan = random_plan(rng, NAMES, depth=rng.randint(1, 3))
+            _assert_equivalent(plan, db, execute_batch(plan, db))
+
+    def test_atom_relations(self):
+        """Bare-atom elements: weight falls back to 1 per element and
+        widths stay unknown; set ops must still match exactly."""
+        rng = random.Random(8)
+        for _ in range(15):
+            db = random_atom_database(rng, NAMES)
+            op = rng.choice((Union, Difference, Intersect))
+            plan = op(Scan(rng.choice(NAMES)), Scan(rng.choice(NAMES)))
+            _assert_equivalent(plan, db, execute_batch(plan, db))
+
+    def test_empty_projection_width_zero(self):
+        """``pi[]`` makes zero-length tuples whose weight is 1, not 0."""
+        db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
+        plan = Project((), Scan("r"))
+        _assert_equivalent(plan, db, execute_batch(plan, db))
+
+    def test_deep_chain_is_stack_safe(self):
+        rng = random.Random(9)
+        plan = deep_chain_plan(rng, "r", 2000)
+        db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
+        _assert_equivalent(plan, db, execute_batch(plan, db))
+
+    def test_join_shapes(self):
+        """Empty-``on`` (all pairs), single-pair, and multi-pair joins."""
+        db = {
+            "a": CVSet(Tup((i, i % 3)) for i in range(8)),
+            "b": CVSet(Tup((i % 3, i)) for i in range(6)),
+        }
+        for on in ((), ((0, 0),), ((0, 0), (1, 1))):
+            plan = Join(on, Scan("a"), Scan("b"))
+            _assert_equivalent(plan, db, execute_batch(plan, db))
+
+    def test_cse_shared_subtree(self):
+        """A repeated subtree is computed once and its ledger spliced."""
+        db = {
+            "r": CVSet(Tup((i, i)) for i in range(6)),
+            "s": CVSet(Tup((i, 0)) for i in range(3)),
+        }
+        shared = Union(Scan("r"), Scan("s"))
+        plan = Difference(
+            MapNode("id", lambda t: t, shared, injective=True), shared
+        )
+        _assert_equivalent(plan, db, execute_batch(plan, db))
+
+
+class TestModeDispatch:
+    def test_streaming_entrypoint_routes_batch(self):
+        db = {"r": CVSet({Tup((1, 2))})}
+        plan = Project((0,), Scan("r"))
+        _assert_equivalent(
+            plan, db, execute_streaming(plan, db, mode="batch")
+        )
+
+    def test_unknown_mode_rejected(self):
+        db = {"r": CVSet({Tup((1, 2))})}
+        with pytest.raises(ValueError, match="mode"):
+            execute_streaming(Scan("r"), db, mode="vectorized")
+
+
+class TestCacheInterop:
+    def test_batch_writes_streaming_hits(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        cache = PlanCache()
+        execute_batch(plan, db, cache=cache)
+        cache.reset_stats()
+        result = execute_streaming(plan, db, cache=cache)
+        assert cache.hits >= 1
+        _assert_equivalent(plan, db, result)
+
+    def test_streaming_writes_batch_hits(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        cache = PlanCache()
+        execute_streaming(plan, db, cache=cache)
+        cache.reset_stats()
+        result = execute_batch(plan, db, cache=cache)
+        assert cache.hits >= 1
+        _assert_equivalent(plan, db, result)
+
+    def test_predicate_work_skipped_on_warm_run(self):
+        calls = 0
+
+        def counting(t):
+            nonlocal calls
+            calls += 1
+            return True
+
+        db = {"r": CVSet(Tup((i,)) for i in range(5))}
+        plan = Select("counting", counting, Scan("r"))
+        cache = PlanCache()
+        execute_batch(plan, db, cache=cache)
+        assert calls == 5
+        second = execute_batch(plan, db, cache=cache)
+        assert calls == 5  # served from cache
+        _assert_equivalent(plan, db, second)
+
+
+class TestDatabaseBatchRun:
+    def test_run_mode_batch_with_maintained_stats(self):
+        db = hr_database(random.Random(11), employees=40, students=25,
+                         overlap=10)
+        plan = Project((0,), Difference(Scan("employees"),
+                                        Scan("students")))
+        result = db.run(plan, use_cache=False, mode="batch")
+        _assert_equivalent(plan, db.relations, result)
+
+    def test_prebuilt_join_index_path(self):
+        db = Database()
+        db.create("e", 3)
+        db.insert("e", [(i, i % 5, i * 2) for i in range(40)])
+        db.create("k", 2)
+        db.insert("k", [(i % 5, str(i)) for i in range(10)])
+        plan = Join(((1, 0),), Scan("e"), Scan("k"))
+        result = db.run(plan, use_cache=False, mode="batch")
+        _assert_equivalent(plan, db.relations, result)
+
+    def test_stats_survive_mutation(self):
+        """Insert + wholesale replacement keep weights/widths honest."""
+        db = Database()
+        db.create("r", 2)
+        db.insert("r", [(i, i) for i in range(6)])
+        plan = Union(Scan("r"), Scan("r"))
+        _assert_equivalent(
+            plan, db.relations, db.run(plan, use_cache=False, mode="batch")
+        )
+        db.insert("r", [(9, 9), (10, 10)])
+        _assert_equivalent(
+            plan, db.relations, db.run(plan, use_cache=False, mode="batch")
+        )
+        db["r"] = CVSet({Tup((1,)), Tup((1, 2, 3)), "atom"})
+        assert db.relation_width("r") is None
+        _assert_equivalent(
+            plan, db.relations, db.run(plan, use_cache=False, mode="batch")
+        )

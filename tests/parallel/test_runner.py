@@ -1,0 +1,111 @@
+"""Parallel harness: determinism, ordering, and byte-identity with the
+serial reference paths.
+
+Worker counts stay at 2 and workloads tiny — these are correctness
+tests (same bytes out, any core count), not throughput tests.
+"""
+
+import pytest
+
+from repro.engine.fuzz import run_fuzz
+from repro.experiments.registry import run_all
+from repro.experiments.report import render_many
+from repro.parallel import (
+    chunked,
+    parallel_map,
+    render_verdicts,
+    run_invariance_cell,
+    sweep_invariance,
+    tightest,
+)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_path_matches_comprehension(self):
+        items = list(range(17))
+        assert parallel_map(_square, items, jobs=1) == [x * x for x in items]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(23))
+        got = parallel_map(_square, items, jobs=2, chunk_size=4)
+        assert got == [x * x for x in items]
+
+    def test_chunk_size_one(self):
+        items = [3, 1, 4, 1, 5]
+        got = parallel_map(_square, items, jobs=2, chunk_size=1)
+        assert got == [9, 1, 16, 1, 25]
+
+    def test_empty_and_singleton_inputs(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [7], jobs=4) == [49]
+
+    def test_chunked_is_contiguous_and_complete(self):
+        items = list(range(10))
+        chunks = list(chunked(items, 3))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+        with pytest.raises(ValueError):
+            list(chunked(items, 0))
+
+
+class TestFuzzSharding:
+    def test_jobs_report_identical_to_serial(self):
+        serial = run_fuzz(8, base_seed=5)
+        sharded = run_fuzz(8, base_seed=5, jobs=2)
+        assert serial.summary() == sharded.summary()
+        assert serial.seeds == sharded.seeds
+        assert serial.checks == sharded.checks
+        assert [str(d) for d in serial.divergences] == [
+            str(d) for d in sharded.divergences
+        ]
+
+    def test_seed_results_independent_of_total(self):
+        """Seed i plays the same scenarios whether 4 or 8 seeds run —
+        the property that makes sharding sound."""
+        small = run_fuzz(4, base_seed=5)
+        large = run_fuzz(8, base_seed=5)
+        assert small.checks <= large.checks
+        assert small.ok and large.ok
+
+
+class TestInvarianceSweep:
+    def test_parallel_sweep_byte_identical(self):
+        operations = ["projection", "eq_adom"]
+        serial = sweep_invariance(operations, trials=4, seed=2, jobs=1)
+        sharded = sweep_invariance(operations, trials=4, seed=2, jobs=2)
+        assert render_verdicts(serial) == render_verdicts(sharded)
+        assert serial == sharded
+
+    def test_matches_serial_classify(self):
+        """Cell verdicts agree with the in-process classify() sweep."""
+        from repro.cli import OPERATION_CATALOG
+        from repro.genericity.classify import classify
+
+        verdicts = sweep_invariance(["even"], trials=5, seed=3, jobs=1)
+        row = classify(OPERATION_CATALOG["even"](), trials=5, seed=3)
+        assert len(verdicts) == len(row.verdicts)
+        for cell, verdict in zip(verdicts, row.verdicts):
+            assert cell.spec_name == verdict.spec.name
+            assert cell.mode == verdict.mode
+            assert cell.label() == verdict.label()
+
+    def test_tightest_follows_lattice_order(self):
+        verdicts = sweep_invariance(["eq_adom"], trials=5, seed=0, jobs=1)
+        assert tightest(verdicts, "eq_adom", "rel") == "all"
+        assert tightest(verdicts, "missing-op", "rel") is None
+
+    def test_single_cell_reproducible(self):
+        task = ("even", "bijective", "strong", 4, 1)
+        assert run_invariance_cell(task) == run_invariance_cell(task)
+
+
+class TestRegistrySharding:
+    def test_run_all_jobs_identical_reports(self):
+        ids = ["E-2.2", "E-2.8"]
+        serial = run_all(ids, jobs=1)
+        sharded = run_all(ids, jobs=2)
+        assert render_many(serial) == render_many(sharded)
+        assert [r.exp_id for r in sharded] == ids
