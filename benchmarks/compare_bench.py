@@ -4,13 +4,18 @@
     python benchmarks/compare_bench.py OLD.json NEW.json [--threshold 0.20]
 
 Benchmarks are matched by ``name``; within a benchmark, rows are
-matched by their ``"size"`` key when present, by position otherwise.
-Every shared numeric field ending in ``_s`` (a seconds measurement) is
-compared; a field regresses when ``new > old * (1 + threshold)``.
-Rows/fields present on only one side are reported but never fail the
-gate (suites are allowed to grow).  Sub-millisecond timings are noise
-on shared CI hardware, so rows where both sides are under
-``--min-seconds`` are skipped.
+matched by their ``"size"`` key when present, by position otherwise
+(rows repeating a size are disambiguated by position, never silently
+collapsed).  Every shared numeric field ending in ``_s`` (a seconds
+measurement) is compared; a field regresses when
+``new > old * (1 + threshold)``.  Rows/fields present on only one side
+are reported but never fail the gate (suites are allowed to grow).
+Sub-millisecond timings are noise on shared CI hardware, so rows where
+both sides are under ``--min-seconds`` are skipped.
+
+**Every** regressed measurement in **every** suite is reported,
+grouped by suite, before the gate exits 1 — one run of the gate is the
+complete regression picture, never just the first offender.
 
 Exit status: 0 when no shared measurement regressed, 1 otherwise.
 Stdlib only — runnable with no repo setup at all.
@@ -33,9 +38,17 @@ def _iter_rows(benchmark: dict):
     """
     rows = benchmark.get("rows")
     if isinstance(rows, list):
+        seen: set = set()
         for index, row in enumerate(rows):
             if isinstance(row, dict):
                 key = f"size={row['size']}" if "size" in row else f"#{index}"
+                if key in seen:
+                    # Two rows with the same size (e.g. a suite that
+                    # re-measures a size under a different config) must
+                    # not collapse into one dict slot — a clobbered row
+                    # would be a regression the gate never sees.
+                    key = f"{key}#{index}"
+                seen.add(key)
                 yield key, row
     else:
         yield "", benchmark
@@ -51,9 +64,14 @@ def _timing_fields(row: dict) -> dict[str, float]:
 
 def compare(
     old: dict, new: dict, threshold: float, min_seconds: float
-) -> tuple[list[str], list[str]]:
-    """Returns ``(regressions, notes)`` comparing two bench documents."""
-    regressions: list[str] = []
+) -> tuple[list[tuple[str, str]], list[str]]:
+    """Returns ``(regressions, notes)`` comparing two bench documents.
+
+    ``regressions`` is a list of ``(suite_name, detail)`` pairs — one
+    per regressed measurement, across *all* suites (the gate never
+    stops at the first bad suite) — in sorted suite order.  ``notes``
+    are informational (suites/rows appearing or disappearing)."""
+    regressions: list[tuple[str, str]] = []
     notes: list[str] = []
     old_benchmarks = {
         b.get("name"): b for b in old.get("benchmarks", []) if b.get("name")
@@ -71,6 +89,9 @@ def compare(
     for name in sorted(set(old_benchmarks) & set(new_benchmarks)):
         old_rows = dict(_iter_rows(old_benchmarks[name]))
         new_rows = dict(_iter_rows(new_benchmarks[name]))
+        for key in new_rows:
+            if key not in old_rows:
+                notes.append(f"{name}[{key}]: row added")
         for key in old_rows:
             if key not in new_rows:
                 notes.append(f"{name}[{key}]: row dropped")
@@ -82,11 +103,12 @@ def compare(
                 if was < min_seconds and now < min_seconds:
                     continue
                 if now > was * (1.0 + threshold):
-                    regressions.append(
-                        f"{name}[{key}].{field}: {was:.6f}s -> {now:.6f}s "
+                    regressions.append((
+                        name,
+                        f"[{key}].{field}: {was:.6f}s -> {now:.6f}s "
                         f"(+{(now / max(was, 1e-12) - 1.0) * 100:.1f}%, "
-                        f"threshold +{threshold * 100:.0f}%)"
-                    )
+                        f"threshold +{threshold * 100:.0f}%)",
+                    ))
     return regressions, notes
 
 
@@ -121,10 +143,17 @@ def main(argv=None) -> int:
     for note in notes:
         print(f"note: {note}")
     if regressions:
-        print(f"{len(regressions)} regression(s) beyond "
-              f"+{args.threshold * 100:.0f}%:")
-        for line in regressions:
-            print(f"  {line}")
+        suites: list[str] = []
+        for suite, _ in regressions:
+            if suite not in suites:
+                suites.append(suite)
+        print(f"{len(regressions)} regression(s) in {len(suites)} "
+              f"suite(s) beyond +{args.threshold * 100:.0f}%:")
+        for suite in suites:
+            print(f"  {suite}:")
+            for name, detail in regressions:
+                if name == suite:
+                    print(f"    {detail}")
         return 1
     print(f"no regressions beyond +{args.threshold * 100:.0f}% "
           f"({args.old.name} -> {args.new.name})")

@@ -2,7 +2,7 @@
 
 Importable as :mod:`repro.bench` (``python -m repro bench``) with
 ``benchmarks/run_bench.py`` kept as a thin path-setting shim.  Writes
-``BENCH_PR3.json`` at the repo root by default.
+``BENCH_PR4.json`` at the repo root by default.
 
 Measurements:
 
@@ -17,6 +17,9 @@ Measurements:
   the rendered output;
 * **parallel fuzz** — differential fuzz seeds, serial vs sharded, with
   a report-identity check;
+* **observability** — tracer overhead when enabled (the disabled path
+  is the untraced code path every other suite measures), plus cold
+  per-operator EXPLAIN breakdowns of the HR plan in all three modes;
 * **E-PERF** — the pytest micro-benchmark tier, unless ``--skip-eperf``
   (skipped automatically when ``benchmarks/`` is absent, e.g. from an
   installed package).
@@ -292,6 +295,40 @@ def bench_parallel_fuzz(jobs: int, quick: bool = False) -> dict:
     }
 
 
+def bench_observability(size: int = 800) -> dict:
+    """Tracer overhead + per-operator EXPLAIN breakdowns.
+
+    Two claims, measured: the *disabled* path (``tracer=None``) is the
+    PR 3 code path — its cost shows up in every other suite, gated by
+    ``compare_bench.py`` — and the *enabled* path costs a bounded,
+    reported overhead.  The per-operator breakdowns are cold uncached
+    runs of the HR plan in all three modes (deterministic modulo wall
+    time, so the JSON doubles as an EXPLAIN fixture)."""
+    from .obs import Tracer, explain
+
+    db = hr_database(random.Random(4), employees=size,
+                     students=size // 2, overlap=size // 4)
+    plan = Project((0,), Difference(Scan("employees"), Scan("students")))
+    untraced_s = _time(lambda: execute_streaming(plan, db.relations))
+    traced_s = _time(
+        lambda: execute_streaming(plan, db.relations, tracer=Tracer())
+    )
+    breakdowns = {
+        mode: explain(plan, db, mode=mode, use_cache=False).to_dict(
+            wall=False
+        )
+        for mode in ("reference", "stream", "batch")
+    }
+    return {
+        "name": "observability",
+        "size": size,
+        "untraced_stream_s": untraced_s,
+        "traced_stream_s": traced_s,
+        "tracer_overhead": traced_s / max(untraced_s, 1e-9),
+        "per_operator": breakdowns,
+    }
+
+
 def run_eperf() -> dict:
     """The E-PERF sweep (bench_framework.py), one pass via pytest."""
     start = time.perf_counter()
@@ -322,14 +359,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel suites "
                              "(0 = all cores)")
-    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--out", default="BENCH_PR4.json")
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     sizes = (100, 400) if args.quick else (100, 400, 1600)
     results = {
-        "pr": 3,
-        "title": "batch-mode operators + multiprocess sweep harness",
+        "pr": 4,
+        "title": "tracing/metrics subsystem + EXPLAIN ANALYZE",
         "cpu_count": os.cpu_count(),
         "benchmarks": [],
     }
@@ -342,6 +379,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lambda: bench_equivalence_spotcheck(10 if args.quick else 50),
         lambda: bench_parallel_sweep(jobs, quick=args.quick),
         lambda: bench_parallel_fuzz(jobs, quick=args.quick),
+        lambda: bench_observability(400 if args.quick else 800),
     ]
     for bench in suites:
         result = bench()
@@ -361,7 +399,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   if b["name"] == "parallel_invariance_sweep")
     pfuzz = next(b for b in results["benchmarks"]
                  if b["name"] == "parallel_fuzz")
+    obs = next(b for b in results["benchmarks"]
+               if b["name"] == "observability")
     results["acceptance"] = {
+        "tracer_overhead_when_enabled": obs["tracer_overhead"],
         "hr_largest_size": largest["size"],
         "hr_warm_speedup_vs_reference": largest["warm_speedup"],
         "hr_streaming_cold_speedup_vs_reference":

@@ -7,9 +7,16 @@
     python -m repro run --all [--jobs N]
     python -m repro classify sigma_eq [--jobs N]   # classify an operation
     python -m repro optimize "pi[1](employees - students)"
+    python -m repro explain "pi[1](employees - students)" [--mode M]
     python -m repro fuzz --seeds 200 [--jobs N]    # differential fuzz
     python -m repro bench [--out FILE] [--quick]   # benchmark suites
     python -m repro writeup [path]            # regenerate EXPERIMENTS.md
+
+``explain`` runs a plan on the demo HR database under the tracer and
+prints an EXPLAIN ANALYZE-style per-operator tree (rows, work, cache
+activity, index/bulk shortcuts, wall time) for one executor mode or
+all three side by side; ``--json`` emits the same trees as JSON and
+``--warm N`` pre-runs the plan N times so cache hits show up.
 
 ``classify`` accepts the named operations of the built-in catalog;
 ``optimize`` runs the rewriter against the demo HR catalog and prints
@@ -153,6 +160,41 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .engine.workload import hr_database
+    from .obs import MODES, explain
+    from .optimizer.parser import PlanParseError, parse_plan
+
+    try:
+        plan = parse_plan(args.plan)
+    except PlanParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+    db = hr_database(random.Random(args.seed), employees=args.size,
+                     students=args.size * 2 // 3, overlap=args.size // 4)
+    from .optimizer.schema_infer import SchemaInferenceError, infer_arity
+
+    try:
+        infer_arity(plan, db.catalog)
+    except SchemaInferenceError as error:
+        print(f"schema error: {error}", file=sys.stderr)
+        return 2
+    for _ in range(args.warm):
+        db.run(plan)
+    modes = MODES if args.mode == "all" else (args.mode,)
+    reports = [explain(plan, db, mode=mode) for mode in modes]
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        return 0
+    for i, report in enumerate(reports):
+        if i:
+            print()
+        print(report.render())
+    return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from .engine.fuzz import run_fuzz
 
@@ -226,6 +268,30 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--show-rows", type=int, default=0)
     optimize_parser.set_defaults(fn=_cmd_optimize)
 
+    explain_parser = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE a plan on the demo HR db (traced run)",
+    )
+    explain_parser.add_argument(
+        "plan", nargs="?", default="pi[1](employees - students)",
+        help="plan text (default: the README's demo query)",
+    )
+    explain_parser.add_argument(
+        "--mode", choices=("all", "reference", "stream", "batch"),
+        default="all",
+        help="executor mode, or 'all' for all three (default)",
+    )
+    explain_parser.add_argument("--size", type=int, default=60)
+    explain_parser.add_argument("--seed", type=int, default=0)
+    explain_parser.add_argument(
+        "--warm", type=int, default=0,
+        help="pre-run the plan N times so cache hits are visible",
+    )
+    explain_parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of text"
+    )
+    explain_parser.set_defaults(fn=_cmd_explain)
+
     fuzz_parser = sub.add_parser(
         "fuzz",
         help="differentially fuzz the streaming engine vs the reference",
@@ -250,8 +316,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark suites and write a BENCH json"
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR3.json",
-        help="output path (default: BENCH_PR3.json)",
+        "--out", default="BENCH_PR4.json",
+        help="output path (default: BENCH_PR4.json)",
     )
     bench_parser.add_argument(
         "--quick", action="store_true",

@@ -277,12 +277,19 @@ class Database:
     # Execution.
 
     def run(
-        self, plan: Plan, *, use_cache: bool = True, mode: str = "stream"
+        self,
+        plan: Plan,
+        *,
+        use_cache: bool = True,
+        mode: str = "stream",
+        tracer=None,
     ) -> ExecutionResult:
         """Execute a plan with the streaming engine (cached by default).
 
         ``mode="batch"`` uses the operator-at-a-time batch executor —
-        identical results, fastest cold path; see docs/EXECUTION.md."""
+        identical results, fastest cold path; see docs/EXECUTION.md.
+        ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a span
+        tree for the execution; see docs/OBSERVABILITY.md."""
         return execute_streaming(
             plan,
             self.relations,
@@ -290,11 +297,12 @@ class Database:
             key_index=self._join_index,
             mode=mode,
             relation_stats=self.relation_stats,
+            tracer=tracer,
         )
 
-    def run_reference(self, plan: Plan) -> ExecutionResult:
+    def run_reference(self, plan: Plan, *, tracer=None) -> ExecutionResult:
         """Execute with the reference tuple-at-a-time interpreter."""
-        return execute_reference(plan, self.relations)
+        return execute_reference(plan, self.relations, tracer=tracer)
 
     def query(self, text: str, optimize: bool = False) -> ExecutionResult:
         """Parse and run a textual plan (see

@@ -40,9 +40,11 @@ generator pipeline to cut.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Callable, Mapping as TMapping, Optional
 
+from ...obs.trace import Span, Tracer
 from ...optimizer.plan import (
     Difference,
     ExecutionResult,
@@ -124,11 +126,17 @@ def execute_batch(
     cache: Optional[PlanCache] = None,
     key_index=None,
     relation_stats: Optional[RelationStats] = None,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` one whole operator at a time.
 
     Returns an :class:`ExecutionResult` identical (value, work,
     per-node ledger) to :func:`repro.optimizer.plan.execute_reference`.
+
+    With a ``tracer`` attached, records a span tree whose
+    :meth:`~repro.obs.trace.Span.structure` matches a cold streaming
+    run of the same plan exactly (labels, rows, work, cache
+    annotations); ``wall_s`` here is per-operator compute time.
     """
     if cache is not None:
         info = cache.annotate(plan)
@@ -151,6 +159,8 @@ def execute_batch(
     log: list[tuple[str, int]] = []
     work_total = 0
     out: list[_Slot] = []
+    # Span stack paralleling ``out``; None is the disabled path.
+    sout: Optional[list[Span]] = [] if tracer is not None else None
     # item: (_VISIT, node) | (_COMBINE, node, log_start, work_start, prebuilt)
     stack: list[tuple] = [(_VISIT, plan)]
 
@@ -169,10 +179,16 @@ def execute_batch(
                 )
                 weight, width = stats if stats is not None else (None, None)
                 log.append((str(node), 0))
-                out.append(_Slot(_frozen(relation), weight, width))
+                values = _frozen(relation)
+                if sout is not None:
+                    span = Span(str(node))
+                    span.rows = len(values)
+                    sout.append(span)
+                out.append(_Slot(values, weight, width))
                 continue
             token = info[id(node)][0]
             entry = memo.get(token)
+            from_memo = entry is not None
             if entry is None and cache is not None:
                 entry = cache.get(entry_key(node))
                 if entry is not None:
@@ -182,6 +198,12 @@ def execute_batch(
                 # hit in the streaming engine.
                 log.extend(entry.entries)
                 work_total += entry.work
+                if sout is not None:
+                    span = Span(node_label(node))
+                    span.rows = len(entry.value)
+                    span.work = entry.work
+                    span.cache = "cse" if from_memo else "hit"
+                    sout.append(span)
                 out.append(_Slot(entry.value.frozen()))
                 continue
             prebuilt = None
@@ -207,6 +229,10 @@ def execute_batch(
         n = len(node.children()) - (1 if prebuilt is not None else 0)
         inputs = out[-n:]
         del out[-n:]
+        if sout is not None:
+            child_spans = sout[-n:]
+            del sout[-n:]
+            op_start = time.perf_counter()
 
         width: Optional[int] = None
         if isinstance(node, Project):
@@ -257,6 +283,21 @@ def execute_batch(
 
         work_total += work
         log.append((node_label(node), work))
+        if sout is not None:
+            span = Span(node_label(node))
+            span.wall_s = time.perf_counter() - op_start
+            span.work = work
+            span.rows = len(result)
+            if cache is not None:
+                span.cache = "miss"
+            span.children = child_spans
+            if prebuilt is not None:
+                # The index-served right scan: logged, never re-read —
+                # same childless rows-unknown span as the streaming
+                # engine's prebuilt path.
+                span.source = "index"
+                span.children = child_spans + [Span(str(node.right))]
+            sout.append(span)
 
         token = info[id(node)][0]
         if counts[token] > 1:
@@ -276,8 +317,17 @@ def execute_batch(
     root = out.pop()
     entry = memo.get(info[id(plan)][0])
     if entry is not None:  # root served from cache or CSE-materialized
+        if tracer is not None:
+            tracer.record(sout.pop())
         return ExecutionResult(entry.value, entry.work, list(entry.entries))
-    value = CVSet(root.values)
+    if tracer is not None:
+        root_span = sout.pop()
+        start = time.perf_counter()
+        value = CVSet(root.values)
+        root_span.wall_s += time.perf_counter() - start
+        tracer.record(root_span)
+    else:
+        value = CVSet(root.values)
     if cache is not None and not isinstance(plan, Scan):
         cache.put(
             entry_key(plan),

@@ -86,6 +86,9 @@ class PlanCache:
         self._identity_memo: dict[int, tuple[Callable, object]] = {}
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -140,6 +143,7 @@ class PlanCache:
     def put(self, key, entry: CacheEntry) -> None:
         if self.capacity <= 0:
             return
+        self.puts += 1
         old = self._entries.pop(key, None)
         if old is not None:
             # Re-put refreshes the entry (and its LRU position); drop
@@ -153,14 +157,19 @@ class PlanCache:
             self._by_relation.setdefault(name, set()).add(key)
         while len(self._entries) > self.capacity:
             evicted_key, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
             for name in evicted.relations:
                 keys = self._by_relation.get(name)
                 if keys is not None:
                     keys.discard(evicted_key)
 
     def invalidate(self, relation: Optional[str] = None) -> None:
-        """Drop every entry reading ``relation`` (or everything)."""
+        """Drop every entry reading ``relation`` (or everything).
+
+        ``invalidations`` counts dropped *entries*, not calls — an
+        invalidate that touches nothing is free and counts nothing."""
         if relation is None:
+            self.invalidations += len(self._entries)
             self._entries.clear()
             self._by_relation.clear()
             self._intern.clear()
@@ -171,6 +180,7 @@ class PlanCache:
             entry = self._entries.pop(key, None)
             if entry is None:
                 continue
+            self.invalidations += 1
             for name in entry.relations:
                 if name != relation:
                     keys = self._by_relation.get(name)
@@ -183,6 +193,9 @@ class PlanCache:
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     @property
     def hit_rate(self) -> float:
@@ -194,6 +207,9 @@ class PlanCache:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
             "entries": len(self._entries),
             "capacity": self.capacity,
         }

@@ -46,6 +46,7 @@ plan over every database.
 
 from __future__ import annotations
 
+import time
 from collections import Counter
 from typing import Callable, Iterator, Mapping as TMapping, Optional
 
@@ -63,6 +64,7 @@ from ...optimizer.plan import (
     Union,
     tuple_weight,
 )
+from ...obs.trace import Span, Tracer
 from ...types.values import CVSet, Value
 from .cache import CacheEntry, PlanCache
 from .fingerprint import annotate_plan, semantic_cache_key
@@ -77,6 +79,7 @@ from .operators import (
     product_gen,
     project_gen,
     select_gen,
+    traced_gen,
     union_gen,
 )
 
@@ -113,6 +116,31 @@ def subtree_counts(plan: Plan) -> Counter:
     return counts
 
 
+def _finish_spans(root_frame: Frame, spans: dict[int, Span]) -> Span:
+    """Build the span tree mirroring a completed frame tree.
+
+    Spans created during execution (rows, cache, source annotations)
+    are reused; frames the operators created internally (bulk-path and
+    index-path scan children) get plain spans.  Work is copied from the
+    frames: a spliced frame's span carries the stored subtree's as-if
+    work, so span works always sum to the execution total.
+    """
+    stack = [root_frame]
+    while stack:
+        frame = stack.pop()
+        span = spans.get(id(frame))
+        if span is None:
+            span = spans[id(frame)] = Span(frame.label)
+        span.work = frame.spliced[0] if frame.spliced else frame.work
+        for child in frame.children:
+            child_span = spans.get(id(child))
+            if child_span is None:
+                child_span = spans[id(child)] = Span(child.label)
+            span.children.append(child_span)
+            stack.append(child)
+    return spans[id(root_frame)]
+
+
 def execute_streaming(
     plan: Plan,
     db: TMapping[str, CVSet],
@@ -121,6 +149,7 @@ def execute_streaming(
     key_index: Optional[KeyIndex] = None,
     mode: str = "stream",
     relation_stats=None,
+    tracer: Optional[Tracer] = None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` with the streaming engine.
 
@@ -133,6 +162,12 @@ def execute_streaming(
     path.  ``relation_stats`` (used by batch mode only) supplies cached
     scan weights and uniform tuple widths so base relations are not
     re-weighed per execution.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a span
+    tree — one span per plan-node occurrence, with rows, work, cache
+    and shortcut annotations.  ``None`` (the default) is the zero-
+    overhead path; tracing never changes the result or the cache
+    contents (see ``docs/OBSERVABILITY.md``).
     """
     if mode == "batch":
         from .batch import execute_batch
@@ -143,6 +178,7 @@ def execute_streaming(
             cache=cache,
             key_index=key_index,
             relation_stats=relation_stats,
+            tracer=tracer,
         )
     if mode != "stream":
         raise ValueError(f"mode must be 'stream' or 'batch', got {mode!r}")
@@ -163,6 +199,8 @@ def execute_streaming(
         walk.extend(node.children())
 
     memo: dict[int, CacheEntry] = {}
+    # id(frame) -> Span; None is the zero-overhead disabled path.
+    spans: Optional[dict[int, Span]] = {} if tracer is not None else None
 
     def entry_key(node: Plan):
         token, relations = info[id(node)]
@@ -223,18 +261,31 @@ def execute_streaming(
             else:
                 root_frame = frame
             if isinstance(node, Scan):
-                out.append((iter(db.get(node.relation, _EMPTY)), 1))
+                relation = db.get(node.relation, _EMPTY)
+                if spans is not None:
+                    span = spans[id(frame)] = Span(frame.label)
+                    span.rows = len(relation)
+                out.append((iter(relation), 1))
                 continue
             token = info[id(node)][0]
             entry = memo.get(token)
+            from_memo = entry is not None
             if entry is None and cache is not None:
                 entry = cache.get(entry_key(node))
                 if entry is not None:
                     memo[token] = entry
             if entry is not None:
                 frame.spliced = (entry.work, entry.entries)
+                if spans is not None:
+                    span = spans[id(frame)] = Span(frame.label)
+                    span.rows = len(entry.value)
+                    span.cache = "cse" if from_memo else "hit"
                 out.append((iter(entry.value), 1))
                 continue
+            if spans is not None:
+                span = spans[id(frame)] = Span(frame.label)
+                if cache is not None:
+                    span.cache = "miss"
             if isinstance(node, (Union, Difference, Intersect)) and (
                 type(node.left) is Scan and type(node.right) is Scan
             ):
@@ -299,11 +350,25 @@ def execute_streaming(
 
         if flavor == _BULK:
             gen = _bulk_set_op(node, frame)
+            if spans is not None:
+                spans[id(frame)].source = "bulk"
+                # The scan children were charged but never streamed;
+                # report their sizes like ordinary visited scans.
+                for child_frame, scan_node in zip(
+                    frame.children[-2:], (node.left, node.right)
+                ):
+                    child_span = Span(child_frame.label)
+                    child_span.rows = len(
+                        db.get(scan_node.relation, _EMPTY)
+                    )
+                    spans[id(child_frame)] = child_span
         elif flavor == _PREBUILT:
             gen = join_gen(
                 node.on, inputs[0], iter(()), frame,
                 prebuilt=extra, dedup=dedup,
             )
+            if spans is not None:
+                spans[id(frame)].source = "index"
         elif isinstance(node, Project):
             gen = project_gen(inputs[0], node.columns, frame, dedup)
         elif isinstance(node, Select):
@@ -324,7 +389,14 @@ def execute_streaming(
             raise TypeError(f"unknown plan node: {node!r}")
 
         if materialize:
-            value = CVSet(gen)
+            if spans is not None:
+                span = spans[id(frame)]
+                start = time.perf_counter()
+                value = CVSet(gen)
+                span.wall_s += time.perf_counter() - start
+                span.rows = len(value)
+            else:
+                value = CVSet(gen)
             work, entries = collect_frame(frame)
             entry = CacheEntry(
                 value, work, tuple(entries), info[id(node)][1]
@@ -334,17 +406,33 @@ def execute_streaming(
                 cache.put(entry_key(node), entry)
             out.append((iter(value), 1))
         else:
+            if spans is not None and not top:
+                # Pipelined interior node: count rows / accumulate
+                # pull time as the consumer drains it.  The root is
+                # measured at the tail materialization instead.
+                gen = traced_gen(gen, spans[id(frame)])
             out.append((gen, depth))
 
     root_iter, _ = out.pop()
     entry = memo.get(info[id(plan)][0])
     if entry is not None:  # root served from cache or materialized
+        if tracer is not None:
+            tracer.record(_finish_spans(root_frame, spans))
         return ExecutionResult(entry.value, entry.work, list(entry.entries))
-    value = CVSet(root_iter)
+    if tracer is not None:
+        root_span = spans[id(root_frame)]
+        start = time.perf_counter()
+        value = CVSet(root_iter)
+        root_span.wall_s += time.perf_counter() - start
+        root_span.rows = len(value)
+    else:
+        value = CVSet(root_iter)
     work, entries = collect_frame(root_frame)
     if cache is not None and not isinstance(plan, Scan):
         cache.put(
             entry_key(plan),
             CacheEntry(value, work, tuple(entries), info[id(plan)][1]),
         )
+    if tracer is not None:
+        tracer.record(_finish_spans(root_frame, spans))
     return ExecutionResult(value=value, work=work, per_node=entries)

@@ -25,6 +25,7 @@ operators and ``Union`` stream.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterator, Optional
 
 from ...optimizer.plan import (
@@ -42,7 +43,7 @@ from ...optimizer.plan import (
 )
 from ...types.values import Tup, Value
 
-__all__ = ["Frame", "collect_frame", "node_label"]
+__all__ = ["Frame", "collect_frame", "node_label", "traced_gen"]
 
 
 class Frame:
@@ -87,6 +88,39 @@ def collect_frame(frame: Frame) -> tuple[int, list[tuple[str, int]]]:
         total += f.work
         entries.append((f.label, f.work))
     return total, entries
+
+
+def traced_gen(gen: Iterator[Value], span) -> Iterator[Value]:
+    """Tracing-mode wrapper around a pipelined operator's output.
+
+    Counts the rows the operator emits and accumulates the wall time
+    spent producing them into ``span`` (a
+    :class:`~repro.obs.trace.Span`).  The measured time is *inclusive*
+    of upstream producers — pulling a row through a pipelined operator
+    runs the whole chain below it; that is the pipeline's nature, and
+    the number EXPLAIN reports for a pipelined node.  Pure
+    pass-through otherwise: values, order, work charging and partial
+    consumption are untouched, so a traced run is observationally
+    identical to an untraced one.  Only ever attached when a tracer is
+    present — the disabled path never pays the wrapper frame.
+    """
+    clock = time.perf_counter
+    rows = 0
+    wall = 0.0
+    try:
+        while True:
+            start = clock()
+            try:
+                row = next(gen)
+            except StopIteration:
+                return
+            finally:
+                wall += clock() - start
+            rows += 1
+            yield row
+    finally:
+        span.rows = rows
+        span.wall_s += wall
 
 
 def node_label(node: Plan) -> str:

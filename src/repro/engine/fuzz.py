@@ -18,7 +18,15 @@ plans; this harness hammers it with generated ones:
   (recursion-safety, pipeline-depth cutting);
 * **mutation** — a live :class:`~repro.engine.database.Database`
   mutated between runs (inserts and wholesale replacement), checking
-  that invalidation keeps the shared cache honest.
+  that invalidation keeps the shared cache honest;
+* **trace** — every plan run traced in streaming *and* batch mode:
+  results must still match the reference (observer effect zero), each
+  span tree's work must sum to the executor's ledger total, and the
+  two executors' span trees must agree node-for-node on rows, work and
+  cache annotations (:meth:`repro.obs.trace.Span.structure`) — shared
+  subplans served by CSE included.  Trace checks also exercise the
+  metrics registry, whose totals ``run_fuzz(jobs=N)`` merges across
+  worker processes.
 
 Every generated plan is executed in up to six modes — streaming cold
 (no cache), streaming fresh cache (cold run then warm re-run),
@@ -45,6 +53,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Mapping as TMapping, Optional
 
+from ..obs.metrics import counter, observe
+from ..obs.trace import Tracer
 from ..optimizer.plan import (
     Difference,
     Intersect,
@@ -157,6 +167,15 @@ class _Checker:
         if detail is not None:
             self._record(mode, detail)
 
+    def _check(self, mode: str, ok: bool, detail: str) -> None:
+        """A non-differential predicate check (counts like a compare)."""
+        self.report.checks += 1
+        self.report.per_scenario[self.scenario] = (
+            self.report.per_scenario.get(self.scenario, 0) + 1
+        )
+        if not ok:
+            self._record(mode, detail)
+
     #: Streaming and batch variants of every cache state.  The
     #: batch-shared run probes the same cache the streaming runs
     #: populate (and vice versa), so the modes also fuzz cross-executor
@@ -218,6 +237,48 @@ class _Checker:
                 execute_batch(plan, db, cache=self.shared),
                 reference,
             )
+
+    def check_trace(self, plan: Plan, db: TMapping[str, CVSet]) -> None:
+        """Cross-check streaming vs batch span trees on one cold plan.
+
+        Traced runs must still match the reference bit-for-bit (the
+        tracer has no observer effect on results), every span tree's
+        work must sum to its executor's ledger total, and the two
+        executors' trees must agree node-for-node — labels, row counts,
+        work, cache annotations — at every subplan, shared (CSE-served)
+        occurrences included.
+        """
+        reference = execute_reference(plan, db)
+        ts, tb = Tracer(), Tracer()
+        streamed = execute_streaming(plan, db, tracer=ts)
+        batched = execute_batch(plan, db, tracer=tb)
+        self._compare("trace-stream", streamed, reference)
+        self._compare("trace-batch", batched, reference)
+        for mode, tracer, result in (
+            ("trace-stream", ts, streamed),
+            ("trace-batch", tb, batched),
+        ):
+            root = tracer.last
+            self._check(
+                mode,
+                root.total_work() == result.work,
+                f"span work sum {root.total_work()} != "
+                f"ledger total {result.work}",
+            )
+            self._check(
+                mode,
+                root.rows == len(result.value),
+                f"root span rows {root.rows} != "
+                f"result rows {len(result.value)}",
+            )
+        self._check(
+            "trace-structure",
+            ts.last.structure() == tb.last.structure(),
+            "stream and batch span trees disagree "
+            f"({ts.last.span_count()} vs {tb.last.span_count()} spans)",
+        )
+        counter("fuzz.trace.plans")
+        observe("fuzz.trace.spans", ts.last.span_count())
 
 
 # ----------------------------------------------------------------------
@@ -303,6 +364,15 @@ def _scenario_alias(rng: random.Random, check: _Checker) -> None:
     )
 
 
+def _scenario_trace(rng: random.Random, check: _Checker) -> None:
+    """Span-tree cross-checks over random plans (see ``check_trace``)."""
+    db = random_database(rng, _NAMES)
+    for _ in range(2):
+        check.check_trace(
+            random_plan(rng, _NAMES, depth=rng.randint(1, 3)), db
+        )
+
+
 def _scenario_deep(rng: random.Random, check: _Checker) -> None:
     db = random_database(rng, _NAMES)
     depth = rng.randint(600, 1500)
@@ -357,6 +427,7 @@ SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
     "atoms": _scenario_atoms,
     "alias": _scenario_alias,
     "mutation": _scenario_mutation,
+    "trace": _scenario_trace,
     "deep": _scenario_deep,
 }
 
@@ -430,7 +501,9 @@ def run_fuzz(
     if jobs > 1:
         from ..parallel import parallel_map
 
-        parts = parallel_map(_fuzz_one_seed, tasks, jobs=jobs)
+        parts = parallel_map(
+            _fuzz_one_seed, tasks, jobs=jobs, merge_metrics=True
+        )
     else:
         parts = [_fuzz_one_seed(task) for task in tasks]
     return _merge_reports(parts)

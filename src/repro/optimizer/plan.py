@@ -9,9 +9,11 @@ Plans are immutable; rewrites build new trees.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Mapping as TMapping, Sequence
+from typing import Callable, Mapping as TMapping, Optional, Sequence
 
+from ..obs.trace import Span, Tracer
 from ..types.values import CVSet, Tup, Value
 
 __all__ = [
@@ -373,7 +375,12 @@ def _eval_node(
     raise TypeError(f"unknown plan node: {node!r}")
 
 
-def execute(plan: Plan, db: TMapping[str, CVSet]) -> ExecutionResult:
+def execute(
+    plan: Plan,
+    db: TMapping[str, CVSet],
+    *,
+    tracer: Optional[Tracer] = None,
+) -> ExecutionResult:
     """Evaluate ``plan`` over ``db``, counting tuples consumed.
 
     Work accounting: every operator pays one unit per input tuple it
@@ -384,10 +391,17 @@ def execute(plan: Plan, db: TMapping[str, CVSet]) -> ExecutionResult:
     plans of arbitrary depth evaluate without ``RecursionError``; the
     per-node log order (children left-to-right, then the node) is
     identical to the old recursive interpreter's.
+
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records one span
+    per plan node — label and work straight from the ledger, rows from
+    the materialized result, wall time per operator (children
+    excluded).  ``None`` touches no tracing code.
     """
     log: list[tuple[str, int]] = []
     stack: list[tuple[Plan, bool]] = [(plan, False)]
     results: list[tuple[CVSet, int]] = []
+    # Span stack paralleling ``results``; None is the disabled path.
+    spans: Optional[list[Span]] = [] if tracer is not None else None
     while stack:
         node, ready = stack.pop()
         if not isinstance(node, Plan):
@@ -403,8 +417,26 @@ def execute(plan: Plan, db: TMapping[str, CVSet]) -> ExecutionResult:
             del results[-n:]
         else:
             inputs = []
-        results.append(_eval_node(node, inputs, db, log))
+        if spans is None:
+            results.append(_eval_node(node, inputs, db, log))
+        else:
+            child_spans = spans[-n:] if n else []
+            if n:
+                del spans[-n:]
+            start = time.perf_counter()
+            result = _eval_node(node, inputs, db, log)
+            wall = time.perf_counter() - start
+            results.append(result)
+            label, work = log[-1]
+            span = Span(label)
+            span.wall_s = wall
+            span.work = work
+            span.rows = len(result[0])
+            span.children = child_spans
+            spans.append(span)
     value, work = results.pop()
+    if tracer is not None:
+        tracer.record(spans.pop())
     return ExecutionResult(value=value, work=work, per_node=log)
 
 

@@ -56,12 +56,30 @@ def _apply_chunk(payload: tuple[Callable[[T], R], Sequence[T]]) -> list[R]:
     return [worker(item) for item in chunk]
 
 
+def _apply_chunk_traced(
+    payload: tuple[Callable[[T], R], Sequence[T]],
+) -> tuple[list[R], dict]:
+    """Like :func:`_apply_chunk`, but also ship the chunk's metrics.
+
+    The snapshot *delta* (this chunk's contribution only) comes back,
+    not the registry's absolute state — pool processes are reused
+    across chunks, and absolutes would double-count earlier chunks.
+    """
+    from ..obs.metrics import REGISTRY, snapshot_delta
+
+    worker, chunk = payload
+    before = REGISTRY.snapshot()
+    results = [worker(item) for item in chunk]
+    return results, snapshot_delta(REGISTRY.snapshot(), before)
+
+
 def parallel_map(
     worker: Callable[[T], R],
     items: Iterable[T],
     *,
     jobs: int = 1,
     chunk_size: Optional[int] = None,
+    merge_metrics: bool = False,
 ) -> list[R]:
     """``[worker(x) for x in items]``, optionally sharded across processes.
 
@@ -72,6 +90,13 @@ def parallel_map(
     :class:`~concurrent.futures.ProcessPoolExecutor` task, and results
     are merged back in submission order.  ``worker`` must be a
     top-level function; items and results must pickle.
+
+    ``merge_metrics=True`` additionally folds each worker chunk's
+    :data:`repro.obs.metrics.REGISTRY` activity into the parent
+    process's registry, merged in submission order — counter and
+    histogram totals come out identical to the serial run's (sums
+    commute; gauges merge by ``max``).  On the serial path the worker
+    already writes to the parent registry, so the flag is a no-op.
     """
     work = list(items)
     if jobs <= 1 or len(work) <= 1:
@@ -80,10 +105,19 @@ def parallel_map(
         chunk_size = max(1, -(-len(work) // (jobs * 4)))
     chunks = list(chunked(work, chunk_size))
     merged: list[R] = []
+    apply = _apply_chunk_traced if merge_metrics else _apply_chunk
     with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
         futures = [
-            pool.submit(_apply_chunk, (worker, chunk)) for chunk in chunks
+            pool.submit(apply, (worker, chunk)) for chunk in chunks
         ]
-        for future in futures:  # submission order == input order
-            merged.extend(future.result())
+        if merge_metrics:
+            from ..obs.metrics import REGISTRY
+
+            for future in futures:  # submission order == input order
+                results, delta = future.result()
+                merged.extend(results)
+                REGISTRY.merge(delta)
+        else:
+            for future in futures:
+                merged.extend(future.result())
     return merged

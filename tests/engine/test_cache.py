@@ -113,13 +113,36 @@ class TestStats:
             "hits": 1,
             "misses": 1,
             "hit_rate": 0.5,
+            "puts": 1,
+            "evictions": 0,
+            "invalidations": 0,
             "entries": 1,
             "capacity": 256,
         }
         cache.reset_stats()
         assert cache.hits == 0 and cache.misses == 0
+        assert cache.puts == 0 and cache.evictions == 0
+        assert cache.invalidations == 0
         assert cache.hit_rate == 0.0  # no division-by-zero on empty stats
         assert cache.stats()["hit_rate"] == 0.0
         assert cache.stats()["entries"] == 1  # reset touches stats only
         assert cache.get("k") is not None
         assert cache.stats()["hits"] == 1 and cache.stats()["hit_rate"] == 1.0
+
+    def test_put_evict_invalidate_counters(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", entry("r"))
+        cache.put("b", entry("r"))
+        cache.put("c", entry("r"))  # evicts "a" (LRU)
+        assert cache.puts == 3 and cache.evictions == 1
+        cache.invalidate("r")  # drops "b" and "c"
+        assert cache.invalidations == 2
+        cache.invalidate("r")  # nothing left to drop: counts nothing
+        assert cache.invalidations == 2
+        cache.put("d", entry("s"))
+        cache.clear()  # full clear counts each dropped entry
+        assert cache.invalidations == 3
+        # Zero-capacity caches never store, so never put/evict.
+        disabled = PlanCache(capacity=0)
+        disabled.put("k", entry("r"))
+        assert disabled.puts == 0 and disabled.evictions == 0

@@ -1,0 +1,207 @@
+"""MetricsRegistry semantics: instruments, snapshots, merge, deltas,
+and the jobs=1 == jobs=N determinism guarantee end-to-end through the
+fuzz harness's trace scenario.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricsRegistry,
+    snapshot_delta,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    """Process-wide registry state must not leak between tests."""
+    REGISTRY.clear()
+    yield
+    REGISTRY.clear()
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_returns_total(self):
+        reg = MetricsRegistry()
+        assert reg.counter("c") == 1
+        assert reg.counter("c", 4) == 5
+        assert reg.snapshot()["counters"] == {"c": 5}
+
+    def test_gauge_keeps_last_written_value(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 3.5)
+        reg.gauge("g", 1.0)
+        assert reg.snapshot()["gauges"] == {"g": 1.0}
+
+    def test_histogram_buckets_are_deterministic(self):
+        reg = MetricsRegistry()
+        for value in (0, 1, 2, 3, 10, 10001):
+            reg.observe("h", value)
+        hist = reg.snapshot()["histograms"]["h"]
+        assert hist["count"] == 6
+        assert hist["sum"] == 10017
+        assert hist["boundaries"] == list(DEFAULT_BUCKETS)
+        # bisect_left boundary semantics: a value equal to a boundary
+        # lands in that boundary's bucket (le_ is inclusive).
+        assert hist["buckets"]["le_1"] == 2  # 0 and 1
+        assert hist["buckets"]["le_2"] == 1
+        assert hist["buckets"]["le_5"] == 1  # 3
+        assert hist["buckets"]["le_10"] == 1
+        assert hist["buckets"]["inf"] == 1  # 10001 overflows
+        assert sum(hist["buckets"].values()) == hist["count"]
+
+    def test_histogram_rejects_bad_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.observe("h", 1, buckets=())
+        with pytest.raises(ValueError):
+            reg.observe("h", 1, buckets=(5, 1))
+        reg.observe("h", 1, buckets=(1, 2))
+        with pytest.raises(ValueError):
+            reg.observe("h", 1, buckets=(1, 2, 3))  # redeclaration
+
+    def test_clear_and_repr(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g", 1)
+        reg.observe("h", 1)
+        assert "counters=1" in repr(reg)
+        reg.clear()
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}
+        }
+
+
+class TestSnapshotDeterminism:
+    def test_snapshot_is_sorted_and_json_stable(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        # Same writes, opposite order.
+        a.counter("x")
+        a.counter("b", 2)
+        a.observe("h", 7)
+        b.observe("h", 7)
+        b.counter("b", 2)
+        b.counter("x")
+        assert json.dumps(a.snapshot()) == json.dumps(b.snapshot())
+        assert list(a.snapshot()["counters"]) == ["b", "x"]
+
+    def test_render_is_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", 3)
+        reg.gauge("depth", 4)
+        reg.observe("rows", 12)
+        text = reg.render()
+        assert "counter   runs = 3" in text
+        assert "gauge     depth = 4" in text
+        assert "histogram rows count=1 sum=12 le_25:1" in text
+
+
+class TestMerge:
+    def test_counters_and_histogram_cells_sum(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c", 2)
+        a.observe("h", 3)
+        b.counter("c", 5)
+        b.counter("only_b")
+        b.observe("h", 3000)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"c": 7, "only_b": 1}
+        hist = snap["histograms"]["h"]
+        assert hist["count"] == 2 and hist["sum"] == 3003
+        assert hist["buckets"]["le_5"] == 1
+        assert hist["buckets"]["le_5000"] == 1
+
+    def test_gauges_merge_by_max_so_order_is_irrelevant(self):
+        snaps = []
+        for value in (2.0, 9.0, 4.0):
+            reg = MetricsRegistry()
+            reg.gauge("g", value)
+            snaps.append(reg.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge(snap)
+        for snap in reversed(snaps):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+        assert forward.snapshot()["gauges"]["g"] == 9.0
+
+    def test_merge_rejects_boundary_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1, buckets=(1, 2))
+        b.observe("h", 1, buckets=(1, 2, 3))
+        with pytest.raises(ValueError, match="boundaries differ"):
+            a.merge(b.snapshot())
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("c", 3)
+        src.gauge("g", 1.5)
+        src.observe("h", 42)
+        dst.merge(src.snapshot())
+        assert dst.snapshot() == src.snapshot()
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_new_activity(self):
+        reg = MetricsRegistry()
+        reg.counter("c", 3)
+        reg.observe("h", 5)
+        before = reg.snapshot()
+        reg.counter("c", 2)
+        reg.counter("new")
+        reg.observe("h", 100)
+        delta = snapshot_delta(reg.snapshot(), before)
+        assert delta["counters"] == {"c": 2, "new": 1}
+        hist = delta["histograms"]["h"]
+        assert hist["count"] == 1 and hist["sum"] == 100
+        assert hist["buckets"]["le_100"] == 1
+        assert hist["buckets"]["le_5"] == 0
+
+    def test_quiet_interval_produces_empty_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.observe("h", 1)
+        snap = reg.snapshot()
+        delta = snapshot_delta(snap, snap)
+        assert delta["counters"] == {}
+        assert delta["histograms"] == {}
+
+    def test_merging_deltas_reconstructs_the_whole(self):
+        """delta(t2,t1) + delta(t1,t0) folded into a fresh registry
+        equals the t2 snapshot — the worker-shipping invariant."""
+        reg = MetricsRegistry()
+        t0 = reg.snapshot()
+        reg.counter("c", 2)
+        reg.observe("h", 7)
+        t1 = reg.snapshot()
+        reg.counter("c", 5)
+        reg.observe("h", 70)
+        t2 = reg.snapshot()
+        rebuilt = MetricsRegistry()
+        rebuilt.merge(snapshot_delta(t1, t0))
+        rebuilt.merge(snapshot_delta(t2, t1))
+        assert rebuilt.snapshot() == t2
+
+
+class TestParallelDeterminism:
+    """jobs=1 and jobs=N leave byte-identical registry state."""
+
+    def test_fuzz_trace_metrics_identical_serial_vs_parallel(self):
+        from repro.engine.fuzz import run_fuzz
+
+        REGISTRY.clear()
+        serial_report = run_fuzz(18, base_seed=11, jobs=1)
+        serial = REGISTRY.snapshot()
+        REGISTRY.clear()
+        parallel_report = run_fuzz(18, base_seed=11, jobs=2)
+        parallel = REGISTRY.snapshot()
+        assert serial_report.summary() == parallel_report.summary()
+        assert json.dumps(serial) == json.dumps(parallel)
+        assert serial["counters"]["fuzz.trace.plans"] > 0
+        assert serial["histograms"]["fuzz.trace.spans"]["count"] > 0

@@ -1,0 +1,181 @@
+"""The perf-regression gate (``benchmarks/compare_bench.py``).
+
+Pins the gate's core guarantee — **every** regressed measurement in
+**every** suite is reported before it exits 1, never just the first
+offender — plus row matching (size keys, duplicate sizes, positional
+fallback), the noise floor, and the CLI exit codes.
+
+``benchmarks/`` is intentionally not a package (the gate must run with
+no repo setup), so the module is loaded straight from its file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE = Path(__file__).resolve().parent.parent / "benchmarks" / "compare_bench.py"
+_spec = importlib.util.spec_from_file_location("compare_bench", _GATE)
+compare_bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(compare_bench)
+
+
+def doc(*benchmarks: dict) -> dict:
+    return {"benchmarks": list(benchmarks)}
+
+
+def suite(name: str, rows: list[dict]) -> dict:
+    return {"name": name, "rows": rows}
+
+
+class TestCompare:
+    def test_within_threshold_is_clean(self):
+        old = doc(suite("a", [{"size": 10, "run_s": 0.100}]))
+        new = doc(suite("a", [{"size": 10, "run_s": 0.115}]))
+        regressions, notes = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert regressions == [] and notes == []
+
+    def test_all_suites_reported_not_just_the_first(self):
+        """Three regressed suites -> three reported regressions."""
+        old = doc(
+            suite("a", [{"size": 1, "run_s": 0.1}]),
+            suite("b", [{"size": 1, "run_s": 0.1}]),
+            suite("c", [{"size": 1, "run_s": 0.1}]),
+        )
+        new = doc(
+            suite("a", [{"size": 1, "run_s": 0.2}]),
+            suite("b", [{"size": 1, "run_s": 0.2}]),
+            suite("c", [{"size": 1, "run_s": 0.2}]),
+        )
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert [name for name, _ in regressions] == ["a", "b", "c"]
+
+    def test_all_fields_within_a_row_reported(self):
+        old = doc(suite("a", [{"size": 1, "cold_s": 0.1, "warm_s": 0.1}]))
+        new = doc(suite("a", [{"size": 1, "cold_s": 0.3, "warm_s": 0.3}]))
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        details = [detail for _, detail in regressions]
+        assert len(details) == 2
+        assert any("cold_s" in d for d in details)
+        assert any("warm_s" in d for d in details)
+
+    def test_duplicate_size_rows_do_not_collapse(self):
+        """A suite measuring the same size twice keeps both rows; a
+        regression hiding in the second copy is still caught."""
+        old = doc(suite("a", [
+            {"size": 5, "run_s": 0.1},
+            {"size": 5, "run_s": 0.1},
+        ]))
+        new = doc(suite("a", [
+            {"size": 5, "run_s": 0.1},
+            {"size": 5, "run_s": 0.9},
+        ]))
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert len(regressions) == 1
+        assert "size=5#1" in regressions[0][1]
+
+    def test_rows_without_size_match_by_position(self):
+        old = doc(suite("a", [{"run_s": 0.1}, {"run_s": 0.1}]))
+        new = doc(suite("a", [{"run_s": 0.1}, {"run_s": 0.5}]))
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert len(regressions) == 1
+        assert "[#1]" in regressions[0][1]
+
+    def test_flat_suite_without_rows_compares_directly(self):
+        old = doc({"name": "flat", "total_s": 0.1})
+        new = doc({"name": "flat", "total_s": 0.5})
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert len(regressions) == 1 and regressions[0][0] == "flat"
+
+    def test_noise_floor_skips_sub_threshold_rows(self):
+        old = doc(suite("a", [{"size": 1, "run_s": 1e-6}]))
+        new = doc(suite("a", [{"size": 1, "run_s": 9e-5}]))  # 90x, but tiny
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert regressions == []
+
+    def test_added_and_dropped_entities_note_but_never_fail(self):
+        old = doc(
+            suite("kept", [{"size": 1, "run_s": 0.1}, {"size": 2, "run_s": 0.1}]),
+            suite("gone", [{"size": 1, "run_s": 0.1}]),
+        )
+        new = doc(
+            suite("kept", [{"size": 1, "run_s": 0.1}, {"size": 3, "run_s": 9.0}]),
+            suite("fresh", [{"size": 1, "run_s": 9.0}]),
+        )
+        regressions, notes = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert regressions == []
+        assert "benchmark dropped: gone" in notes
+        assert "benchmark added: fresh" in notes
+        assert "kept[size=3]: row added" in notes
+        assert "kept[size=2]: row dropped" in notes
+
+    def test_non_timing_fields_are_ignored(self):
+        old = doc(suite("a", [{"size": 1, "run_s": 0.1, "rows": 10}]))
+        new = doc(suite("a", [{"size": 1, "run_s": 0.1, "rows": 9000}]))
+        regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
+        assert regressions == []
+
+
+class TestMain:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_exit_0_and_summary_when_clean(self, tmp_path, capsys):
+        old = self._write(
+            tmp_path, "old.json", doc(suite("a", [{"size": 1, "run_s": 0.1}]))
+        )
+        new = self._write(
+            tmp_path, "new.json", doc(suite("a", [{"size": 1, "run_s": 0.1}]))
+        )
+        assert compare_bench.main([old, new]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_1_lists_every_suite_grouped(self, tmp_path, capsys):
+        old = self._write(tmp_path, "old.json", doc(
+            suite("a", [{"size": 1, "run_s": 0.1}]),
+            suite("b", [{"size": 1, "cold_s": 0.1, "warm_s": 0.1}]),
+        ))
+        new = self._write(tmp_path, "new.json", doc(
+            suite("a", [{"size": 1, "run_s": 0.5}]),
+            suite("b", [{"size": 1, "cold_s": 0.5, "warm_s": 0.5}]),
+        ))
+        assert compare_bench.main([old, new]) == 1
+        out = capsys.readouterr().out
+        assert "3 regression(s) in 2 suite(s)" in out
+        assert "  a:" in out and "  b:" in out
+        # Grouped output: suite header precedes its details.
+        assert out.index("  a:") < out.index("run_s")
+        assert out.index("  b:") < out.index("cold_s")
+
+    def test_threshold_flag_loosens_the_gate(self, tmp_path):
+        old = self._write(
+            tmp_path, "old.json", doc(suite("a", [{"size": 1, "run_s": 0.1}]))
+        )
+        new = self._write(
+            tmp_path, "new.json", doc(suite("a", [{"size": 1, "run_s": 0.14}]))
+        )
+        assert compare_bench.main([old, new]) == 1
+        assert compare_bench.main([old, new, "--threshold", "0.5"]) == 0
+
+    def test_exit_2_on_missing_or_invalid_input(self, tmp_path, capsys):
+        ok = self._write(tmp_path, "ok.json", doc())
+        assert compare_bench.main([ok, str(tmp_path / "absent.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert compare_bench.main([ok, str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "cannot read" in err and "not valid JSON" in err
+
+
+@pytest.mark.parametrize("threshold", [0.0, 0.2, 1.0])
+def test_threshold_boundary_is_strict(threshold):
+    """Exactly at the threshold is NOT a regression (strict >)."""
+    old = doc(suite("a", [{"size": 1, "run_s": 0.1}]))
+    new = doc(suite("a", [{"size": 1, "run_s": 0.1 * (1 + threshold)}]))
+    regressions, _ = compare_bench.compare(old, new, threshold, 1e-4)
+    assert regressions == []
