@@ -13,6 +13,13 @@ are reported but never fail the gate (suites are allowed to grow).
 Sub-millisecond timings are noise on shared CI hardware, so rows where
 both sides are under ``--min-seconds`` are skipped.
 
+A brand-new column can still be gated against an old one:
+``--new-field-baseline compiled_cold_s=batch_cold_s`` (repeatable)
+compares the new file's ``compiled_cold_s`` against the old file's
+``batch_cold_s`` wherever the new field has no old counterpart — how a
+PR introducing a faster executor proves the new path beats the old
+fastest path instead of getting a free pass as an "added field".
+
 **Every** regressed measurement in **every** suite is reported,
 grouped by suite, before the gate exits 1 — one run of the gate is the
 complete regression picture, never just the first offender.
@@ -63,14 +70,20 @@ def _timing_fields(row: dict) -> dict[str, float]:
 
 
 def compare(
-    old: dict, new: dict, threshold: float, min_seconds: float
+    old: dict, new: dict, threshold: float, min_seconds: float,
+    field_baselines: dict[str, str] | None = None,
 ) -> tuple[list[tuple[str, str]], list[str]]:
     """Returns ``(regressions, notes)`` comparing two bench documents.
 
     ``regressions`` is a list of ``(suite_name, detail)`` pairs — one
     per regressed measurement, across *all* suites (the gate never
     stops at the first bad suite) — in sorted suite order.  ``notes``
-    are informational (suites/rows appearing or disappearing)."""
+    are informational (suites/rows appearing or disappearing).
+
+    ``field_baselines`` maps a new-file field name to the old-file
+    field it should gate against when the old file lacks the new field
+    (see the module docstring)."""
+    field_baselines = field_baselines or {}
     regressions: list[tuple[str, str]] = []
     notes: list[str] = []
     old_benchmarks = {
@@ -98,14 +111,26 @@ def compare(
                 continue
             old_fields = _timing_fields(old_rows[key])
             new_fields = _timing_fields(new_rows[key])
-            for field in sorted(set(old_fields) & set(new_fields)):
-                was, now = old_fields[field], new_fields[field]
+            pairs = [
+                (field, field, field)
+                for field in sorted(set(old_fields) & set(new_fields))
+            ]
+            for new_field in sorted(set(new_fields) - set(old_fields)):
+                old_field = field_baselines.get(new_field)
+                if old_field in old_fields:
+                    pairs.append((
+                        f"{new_field} (vs {old_field})",
+                        old_field,
+                        new_field,
+                    ))
+            for label, old_field, new_field in pairs:
+                was, now = old_fields[old_field], new_fields[new_field]
                 if was < min_seconds and now < min_seconds:
                     continue
                 if now > was * (1.0 + threshold):
                     regressions.append((
                         name,
-                        f"[{key}].{field}: {was:.6f}s -> {now:.6f}s "
+                        f"[{key}].{label}: {was:.6f}s -> {now:.6f}s "
                         f"(+{(now / max(was, 1e-12) - 1.0) * 100:.1f}%, "
                         f"threshold +{threshold * 100:.0f}%)",
                     ))
@@ -126,7 +151,21 @@ def main(argv=None) -> int:
         "--min-seconds", type=float, default=1e-4,
         help="ignore rows where both sides are below this (noise floor)",
     )
+    parser.add_argument(
+        "--new-field-baseline", action="append", default=[],
+        metavar="NEW=OLD",
+        help="gate a field present only in NEW.json against this "
+             "OLD.json field (repeatable)",
+    )
     args = parser.parse_args(argv)
+    field_baselines: dict[str, str] = {}
+    for spec in args.new_field_baseline:
+        new_field, sep, old_field = spec.partition("=")
+        if not sep or not new_field or not old_field:
+            print(f"error: --new-field-baseline wants NEW=OLD, "
+                  f"got {spec!r}", file=sys.stderr)
+            return 2
+        field_baselines[new_field] = old_field
 
     try:
         old = json.loads(args.old.read_text())
@@ -138,7 +177,7 @@ def main(argv=None) -> int:
         print(f"error: not valid JSON: {exc}", file=sys.stderr)
         return 2
     regressions, notes = compare(
-        old, new, args.threshold, args.min_seconds
+        old, new, args.threshold, args.min_seconds, field_baselines
     )
     for note in notes:
         print(f"note: {note}")

@@ -14,8 +14,9 @@
 
 ``explain`` runs a plan on the demo HR database under the tracer and
 prints an EXPLAIN ANALYZE-style per-operator tree (rows, work, cache
-activity, index/bulk shortcuts, wall time) for one executor mode or
-all three side by side; ``--json`` emits the same trees as JSON and
+activity, index/bulk shortcuts, wall time) for one executor mode
+(including ``compiled`` and cost-model-driven ``auto``) or all of them
+side by side; ``--json`` emits the same trees as JSON and
 ``--warm N`` pre-runs the plan N times so cache hits show up.
 
 ``classify`` accepts the named operations of the built-in catalog;
@@ -144,7 +145,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         print(f"schema error: {error}", file=sys.stderr)
         return 2
     rewriter = Rewriter(db.catalog)
-    stats = Stats.of_database(db.snapshot())
+    stats = Stats.from_database(db)
     chosen, before, after = choose_plan(plan, db.catalog, stats, rewriter)
     print(f"original : {plan}")
     print(f"rewritten: {rewriter.optimize(plan)}")
@@ -277,9 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="plan text (default: the README's demo query)",
     )
     explain_parser.add_argument(
-        "--mode", choices=("all", "reference", "stream", "batch"),
+        "--mode",
+        choices=("all", "reference", "stream", "batch", "compiled", "auto"),
         default="all",
-        help="executor mode, or 'all' for all three (default)",
+        help="executor mode, or 'all' for every mode (default)",
     )
     explain_parser.add_argument("--size", type=int, default=60)
     explain_parser.add_argument("--seed", type=int, default=0)
@@ -316,8 +318,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark suites and write a BENCH json"
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR4.json",
-        help="output path (default: BENCH_PR4.json)",
+        "--out", default="BENCH_PR6.json",
+        help="output path (default: BENCH_PR6.json)",
     )
     bench_parser.add_argument(
         "--quick", action="store_true",

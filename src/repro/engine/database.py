@@ -33,7 +33,14 @@ from ..optimizer.plan import (
 )
 from ..types.signatures import Signature, standard_signature
 from ..types.values import CVSet, Tup, Value, atoms_of
-from .exec import PlanCache, execute_streaming, relation_fingerprint
+from .exec import (
+    MAX_PIPELINE_DEPTH,
+    PlanCache,
+    execute_compiled,
+    execute_streaming,
+    plan_depth,
+    relation_fingerprint,
+)
 
 __all__ = ["Database", "SchemaError"]
 
@@ -66,6 +73,16 @@ class Database:
         #: lets the batch executor compute intermediate weights as
         #: ``count * width`` instead of per-tuple sums.
         self._widths: dict[str, Optional[int]] = {}
+        #: ``name -> {column -> distinct count}`` for the cost model.
+        self._distincts: dict[str, dict[int, int]] = {}
+        #: Bumped on every mutation; keys the stats/mode-decision memos
+        #: below, so a stale catalog can never drive a mode choice.
+        self._generation = 0
+        self._stats_memo: Optional[tuple[int, object]] = None
+        #: ``id(plan) -> (generation, plan, decision)``.  The strong
+        #: plan reference pins the id against reuse; bounded, cleared
+        #: wholesale when full.
+        self._mode_memo: dict[int, tuple[int, Plan, object]] = {}
 
     def create(
         self,
@@ -127,6 +144,8 @@ class Database:
             # cached width (stale from a wholesale replacement) means
             # the relation is now mixed-width.
             self._widths[name] = None
+        self._distincts.pop(name, None)
+        self._generation += 1
         self.plan_cache.invalidate(name)
 
     def _validate_key_batch(
@@ -220,6 +239,63 @@ class Database:
         ``(scan weight, uniform width)`` for one relation."""
         return (self.relation_weight(name), self.relation_width(name))
 
+    def column_distincts(self, name: str) -> dict[int, int]:
+        """Cached per-column distinct value counts of one relation
+        (atom elements contribute nothing — they have no columns)."""
+        cached = self._distincts.get(name)
+        if cached is None:
+            columns: dict[int, set] = {}
+            for t in self.relations.get(name, _EMPTY):
+                try:
+                    items = tuple(t)
+                except TypeError:
+                    continue
+                for i, v in enumerate(items):
+                    columns.setdefault(i, set()).add(v)
+            cached = {i: len(vals) for i, vals in columns.items()}
+            self._distincts[name] = cached
+        return cached
+
+    def current_stats(self):
+        """A :class:`~repro.optimizer.cost.Stats` catalog reflecting the
+        live contents, memoized per mutation generation."""
+        memo = self._stats_memo
+        if memo is not None and memo[0] == self._generation:
+            return memo[1]
+        from ..optimizer.cost import Stats
+
+        stats = Stats.from_database(self)
+        self._stats_memo = (self._generation, stats)
+        return stats
+
+    def plan_mode(self, plan: Plan):
+        """The cost model's executor choice for ``plan`` (a
+        :class:`~repro.optimizer.cost.ModeDecision`), memoized per
+        (plan identity, mutation generation).
+
+        Plans deeper than ``MAX_PIPELINE_DEPTH`` never choose the
+        compiled path — its codegen is meant for pipelines, not
+        thousand-operator chains."""
+        entry = self._mode_memo.get(id(plan))
+        if (
+            entry is not None
+            and entry[0] == self._generation
+            and entry[1] is plan
+        ):
+            return entry[2]
+        from ..optimizer.cost import choose_mode
+
+        candidates = ("reference", "stream", "batch", "compiled")
+        if plan_depth(plan) > MAX_PIPELINE_DEPTH:
+            candidates = ("reference", "stream", "batch")
+        decision = choose_mode(
+            plan, self.current_stats(), candidates=candidates
+        )
+        if len(self._mode_memo) >= 1024:
+            self._mode_memo.clear()
+        self._mode_memo[id(plan)] = (self._generation, plan, decision)
+        return decision
+
     def atoms_in(self, name: str) -> frozenset:
         """Cached atom set of one relation."""
         atoms = self._atoms.get(name)
@@ -235,7 +311,9 @@ class Database:
         self._atoms.pop(name, None)
         self._weights.pop(name, None)
         self._widths.pop(name, None)
+        self._distincts.pop(name, None)
         self._eq_indexes.pop(name, None)
+        self._generation += 1
         self.plan_cache.invalidate(name)
 
     def _join_index(
@@ -284,21 +362,58 @@ class Database:
         mode: str = "stream",
         tracer=None,
     ) -> ExecutionResult:
-        """Execute a plan with the streaming engine (cached by default).
+        """Execute a plan (cached by default).
 
+        Every mode returns the identical value/work/ledger.
         ``mode="batch"`` uses the operator-at-a-time batch executor —
-        identical results, fastest cold path; see docs/EXECUTION.md.
+        fastest one-shot cold path; ``mode="compiled"`` lowers the plan
+        to a specialized function memoized in the plan cache's artifact
+        table — fastest repeated cold path; ``mode="reference"`` runs
+        the tuple-at-a-time interpreter.  ``mode="auto"`` derives a
+        cost catalog from the live contents (:meth:`current_stats`),
+        scores every candidate executor (:func:`~repro.optimizer.cost.
+        choose_mode`) and runs the cheapest; the decision is memoized
+        per (plan, mutation generation) and surfaced on the root span's
+        ``meta`` when tracing.  See docs/EXECUTION.md.
+
         ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a span
         tree for the execution; see docs/OBSERVABILITY.md."""
-        return execute_streaming(
-            plan,
-            self.relations,
-            cache=self.plan_cache if use_cache else None,
-            key_index=self._join_index,
-            mode=mode,
-            relation_stats=self.relation_stats,
-            tracer=tracer,
-        )
+        decision = None
+        if mode == "auto":
+            decision = self.plan_mode(plan)
+            mode = decision.mode
+        if mode == "reference":
+            result = execute_reference(plan, self.relations, tracer=tracer)
+        elif mode == "compiled":
+            # The artifact memo is a *program* cache, not a result
+            # cache: it stays on even when ``use_cache=False`` asks for
+            # result-cold execution.
+            result = execute_compiled(
+                plan,
+                self.relations,
+                cache=self.plan_cache if use_cache else None,
+                compile_store=self.plan_cache,
+                key_index=self._join_index,
+                relation_stats=self.relation_stats,
+                tracer=tracer,
+            )
+        else:
+            result = execute_streaming(
+                plan,
+                self.relations,
+                cache=self.plan_cache if use_cache else None,
+                key_index=self._join_index,
+                mode=mode,
+                relation_stats=self.relation_stats,
+                tracer=tracer,
+            )
+        if (
+            decision is not None
+            and tracer is not None
+            and tracer.last is not None
+        ):
+            tracer.last.meta = {"auto": decision.to_dict()}
+        return result
 
     def run_reference(self, plan: Plan, *, tracer=None) -> ExecutionResult:
         """Execute with the reference tuple-at-a-time interpreter."""

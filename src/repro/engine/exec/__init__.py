@@ -9,6 +9,7 @@ maps onto the Section 4.4 cost model.
 
 from .batch import execute_batch
 from .cache import CacheEntry, CacheInvariantError, PlanCache
+from .compile import CompiledPlan, compile_plan, execute_compiled, plan_depth
 from .executor import MAX_PIPELINE_DEPTH, execute_streaming, subtree_counts
 from .fingerprint import (
     annotate_plan,
@@ -25,8 +26,12 @@ __all__ = [
     "CacheInvariantError",
     "PlanCache",
     "MAX_PIPELINE_DEPTH",
+    "CompiledPlan",
+    "compile_plan",
     "execute_batch",
+    "execute_compiled",
     "execute_streaming",
+    "plan_depth",
     "subtree_counts",
     "annotate_plan",
     "callable_identity",

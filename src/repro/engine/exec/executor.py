@@ -159,8 +159,12 @@ def execute_streaming(
     ``mode="batch"`` routes to the operator-at-a-time batch executor
     (:func:`~repro.engine.exec.batch.execute_batch`) — same contract,
     same cache keys, no per-tuple generator pipeline; the fastest cold
-    path.  ``relation_stats`` (used by batch mode only) supplies cached
-    scan weights and uniform tuple widths so base relations are not
+    path for one-shot plans.  ``mode="compiled"`` routes to the plan
+    compiler (:func:`~repro.engine.exec.compile.execute_compiled`) —
+    same contract again, with the plan lowered once to a specialized
+    function and memoized, the fastest repeated-cold path.
+    ``relation_stats`` (batch and compiled modes) supplies cached scan
+    weights and uniform tuple widths so base relations are not
     re-weighed per execution.
 
     ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a span
@@ -180,8 +184,21 @@ def execute_streaming(
             relation_stats=relation_stats,
             tracer=tracer,
         )
+    if mode == "compiled":
+        from .compile import execute_compiled
+
+        return execute_compiled(
+            plan,
+            db,
+            cache=cache,
+            key_index=key_index,
+            relation_stats=relation_stats,
+            tracer=tracer,
+        )
     if mode != "stream":
-        raise ValueError(f"mode must be 'stream' or 'batch', got {mode!r}")
+        raise ValueError(
+            f"mode must be 'stream', 'batch' or 'compiled', got {mode!r}"
+        )
     if cache is not None:
         # Shared interning: tokens (and alias ordinals) are stable
         # across executions, so warm lookups hit.

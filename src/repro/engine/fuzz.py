@@ -19,6 +19,10 @@ plans; this harness hammers it with generated ones:
 * **mutation** — a live :class:`~repro.engine.database.Database`
   mutated between runs (inserts and wholesale replacement), checking
   that invalidation keeps the shared cache honest;
+* **compiled** — the plan compiler hammered directly: artifact-store
+  reuse across calls, aliased predicates sharing one cache, nested
+  databases, cost-driven ``mode="auto"`` on a live database, and the
+  deep-chain fallback to streaming;
 * **trace** — every plan run traced in streaming *and* batch mode:
   results must still match the reference (observer effect zero), each
   span tree's work must sum to the executor's ledger total, and the
@@ -28,13 +32,14 @@ plans; this harness hammers it with generated ones:
   metrics registry, whose totals ``run_fuzz(jobs=N)`` merges across
   worker processes.
 
-Every generated plan is executed in up to six modes — streaming cold
-(no cache), streaming fresh cache (cold run then warm re-run),
-streaming against a cache shared across the whole scenario, and the
-same three for the batch executor (the batch-shared run probes the
-*same* shared cache the streaming runs populate, so cross-mode cache
-interop is fuzzed too) — and each run is compared against the
-reference.  Any mismatch is recorded as a :class:`Divergence`.
+Every generated plan is executed in up to nine modes — cold (no
+cache), fresh cache (cold run then warm re-run), and a cache shared
+across the whole scenario, for each of the streaming, batch and
+compiled executors (the shared runs all probe the *same* cache, so
+cross-executor cache interop — including results a compiled run
+materialized being served to a streaming run — is fuzzed too) — and
+each run is compared against the reference.  Any mismatch is recorded
+as a :class:`Divergence`.
 
 Seeds are independent by construction: every scenario derives its rng
 as ``derive_rng(base_seed, i, scenario)``, so seed ``i`` plays the same
@@ -67,7 +72,12 @@ from ..optimizer.plan import (
 )
 from ..types.values import CVSet, Tup, Value
 from .database import Database
-from .exec import PlanCache, execute_batch, execute_streaming
+from .exec import (
+    PlanCache,
+    execute_batch,
+    execute_compiled,
+    execute_streaming,
+)
 from .workload import (
     deep_chain_plan,
     derive_rng,
@@ -176,10 +186,9 @@ class _Checker:
         if not ok:
             self._record(mode, detail)
 
-    #: Streaming and batch variants of every cache state.  The
-    #: batch-shared run probes the same cache the streaming runs
-    #: populate (and vice versa), so the modes also fuzz cross-executor
-    #: cache interop.
+    #: Streaming, batch and compiled variants of every cache state.
+    #: The shared runs all probe the same cache the other executors
+    #: populate, so the modes also fuzz cross-executor cache interop.
     ALL_MODES = (
         "cold",
         "fresh",
@@ -187,6 +196,9 @@ class _Checker:
         "batch-cold",
         "batch-fresh",
         "batch-shared",
+        "compiled-cold",
+        "compiled-fresh",
+        "compiled-shared",
     )
 
     def check(
@@ -235,6 +247,28 @@ class _Checker:
             self._compare(
                 "batch-shared",
                 execute_batch(plan, db, cache=self.shared),
+                reference,
+            )
+        if "compiled-cold" in modes:
+            self._compare(
+                "compiled-cold", execute_compiled(plan, db), reference
+            )
+        if "compiled-fresh" in modes:
+            fresh = PlanCache()
+            self._compare(
+                "compiled-fresh-cold",
+                execute_compiled(plan, db, cache=fresh),
+                reference,
+            )
+            self._compare(
+                "compiled-fresh-warm",
+                execute_compiled(plan, db, cache=fresh),
+                reference,
+            )
+        if "compiled-shared" in modes:
+            self._compare(
+                "compiled-shared",
+                execute_compiled(plan, db, cache=self.shared),
                 reference,
             )
 
@@ -421,12 +455,89 @@ def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
         )
 
 
+def _scenario_compiled(rng: random.Random, check: _Checker) -> None:
+    """Plan-compiler hammering: artifact reuse, aliasing, nesting,
+    auto-mode on a live database, and the deep-chain fallback."""
+    db = random_database(rng, _NAMES)
+    store = PlanCache()
+    for _ in range(2):
+        plan = random_plan(rng, _NAMES, depth=rng.randint(1, 4))
+        reference = execute_reference(plan, db)
+        # Second run replays the memoized artifact — same contract.
+        check._compare(
+            "compiled-store-cold",
+            execute_compiled(plan, db, compile_store=store),
+            reference,
+        )
+        check._compare(
+            "compiled-store-warm",
+            execute_compiled(plan, db, compile_store=store),
+            reference,
+        )
+    ndb = random_nested_database(rng, _NAMES)
+    check.check(
+        random_plan(rng, _NAMES, depth=rng.randint(1, 3)),
+        ndb,
+        modes=("compiled-cold", "compiled-fresh"),
+    )
+    # One predicate name over different closures against one shared
+    # cache: artifact keys must alias apart exactly like result keys.
+    base = Scan(rng.choice(_NAMES))
+    k1, k2 = rng.sample(range(-1, 7), 2)
+    for k in (k1, k2):
+        check.check(
+            Select("thresh", _threshold_pred(k), base),
+            db,
+            modes=("compiled-shared",),
+        )
+    check.check(
+        Union(
+            Select("thresh", _threshold_pred(k1), base),
+            Select("thresh", _threshold_pred(k2), base),
+        ),
+        db,
+        modes=("compiled-cold", "compiled-shared"),
+    )
+    # Live database: compiled cold/warm and cost-driven auto dispatch.
+    live = Database()
+    for name in _NAMES:
+        live.create(name, 2)
+        live.insert(
+            name,
+            {
+                (rng.randrange(5), rng.randrange(5))
+                for _ in range(rng.randint(0, 8))
+            },
+        )
+    for _ in range(2):
+        plan = random_plan(rng, _NAMES, depth=rng.randint(1, 3))
+        want = live.run_reference(plan)
+        check._compare(
+            "db-compiled-cold",
+            live.run(plan, mode="compiled", use_cache=False),
+            want,
+        )
+        check._compare(
+            "db-compiled-warm", live.run(plan, mode="compiled"), want
+        )
+        check._compare(
+            "db-auto-cold",
+            live.run(plan, mode="auto", use_cache=False),
+            want,
+        )
+        check._compare("db-auto-warm", live.run(plan, mode="auto"), want)
+    # Past MAX_PIPELINE_DEPTH the compiler must fall back to streaming.
+    plan = deep_chain_plan(rng, rng.choice(_NAMES), rng.randint(200, 400))
+    check.check(plan, db, modes=("compiled-cold",))
+
+
 SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
     "random": _scenario_random,
     "nested": _scenario_nested,
     "atoms": _scenario_atoms,
     "alias": _scenario_alias,
     "mutation": _scenario_mutation,
+    "compiled": _scenario_compiled,
     "trace": _scenario_trace,
     "deep": _scenario_deep,
 }

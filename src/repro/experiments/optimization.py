@@ -125,8 +125,12 @@ def opt_cost_sweep(seed: int = 0, sizes=(50, 100, 200, 400)) -> ExperimentResult
         for name, plan in plans.items():
             rewriter = Rewriter(db.catalog)
             optimized = rewriter.optimize(plan)
-            before = db.run(plan)
-            after = db.run(optimized)
+            # mode="auto": the work ledger is executor-invariant, so
+            # letting the cost model pick the engine exercises the
+            # adaptive path while leaving the measured numbers (and the
+            # writeup tables) untouched.
+            before = db.run(plan, mode="auto")
+            after = db.run(optimized, mode="auto")
             result.require(before.value == after.value,
                            f"{name}@{size}: answers differ")
             speedup = before.work / after.work if after.work else float("inf")

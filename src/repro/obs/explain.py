@@ -1,9 +1,11 @@
 """EXPLAIN ANALYZE: render a completed trace as a per-operator tree.
 
 :func:`explain` executes a plan under a :class:`~repro.obs.trace.Tracer`
-in one of the three executor modes (``"reference"``, ``"stream"``,
-``"batch"``) and packages the result as an :class:`ExplainReport` —
-the answer, the span tree, and the cache activity the execution caused.
+in one of the executor modes (``"reference"``, ``"stream"``,
+``"batch"``, ``"compiled"``, or cost-model-driven ``"auto"``) and
+packages the result as an :class:`ExplainReport` — the answer, the span
+tree, the cache activity the execution caused, and (for ``"auto"``) the
+mode decision with its per-candidate score table.
 Rendered as text (a tree with per-operator rows/work/cache/source
 annotations, wall time optional) or as JSON (``to_dict``, with
 ``wall=False`` for byte-deterministic output).
@@ -28,7 +30,9 @@ from .trace import Span, Tracer
 __all__ = ["MODES", "ExplainReport", "explain", "render_span_tree"]
 
 #: Executor modes :func:`explain` understands, in canonical order.
-MODES = ("reference", "stream", "batch")
+#: ``"compiled"`` runs the plan compiler; ``"auto"`` lets the cost
+#: model pick the executor (the report carries the decision).
+MODES = ("reference", "stream", "batch", "compiled", "auto")
 
 
 def _span_line(span: Span, *, wall: bool) -> str:
@@ -79,6 +83,9 @@ class ExplainReport:
     work: int
     root: Span
     cache_stats: Optional[dict] = None
+    #: ``mode="auto"`` only: the cost model's decision —
+    #: ``{"mode", "estimated_work", "scores"}``.
+    decision: Optional[dict] = None
 
     def to_dict(self, *, wall: bool = True) -> dict:
         out = {
@@ -90,6 +97,8 @@ class ExplainReport:
         }
         if self.cache_stats is not None:
             out["cache"] = self.cache_stats
+        if self.decision is not None:
+            out["decision"] = self.decision
         return out
 
     def render(self, *, wall: bool = True) -> str:
@@ -102,6 +111,16 @@ class ExplainReport:
                 f" cache[hits={self.cache_stats['hits']}"
                 f" misses={self.cache_stats['misses']}"
                 f" puts={self.cache_stats['puts']}]"
+            )
+        if self.decision is not None:
+            scores = " ".join(
+                f"{m}={s:g}"
+                for m, s in sorted(self.decision["scores"].items())
+            )
+            header += (
+                f"\nauto: chose {self.decision['mode']}"
+                f" (est work {self.decision['estimated_work']:g};"
+                f" scores {scores})"
             )
         return header + "\n" + render_span_tree(self.root, wall=wall)
 
@@ -136,7 +155,23 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
             cache = db.plan_cache
 
     before = cache.stats() if cache is not None else None
-    if mode == "reference":
+    decision = None
+    run_mode = mode
+    if mode == "auto":
+        if hasattr(db, "plan_mode"):
+            decision = db.plan_mode(plan)
+        else:
+            from ..engine.exec import MAX_PIPELINE_DEPTH, plan_depth
+            from ..optimizer.cost import Stats, choose_mode
+
+            candidates = ("reference", "stream", "batch", "compiled")
+            if plan_depth(plan) > MAX_PIPELINE_DEPTH:
+                candidates = ("reference", "stream", "batch")
+            decision = choose_mode(
+                plan, Stats.of_database(relations), candidates=candidates
+            )
+        run_mode = decision.mode
+    if run_mode == "reference":
         result = execute_reference(plan, relations, tracer=tracer)
     else:
         result = execute_streaming(
@@ -144,10 +179,12 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
             relations,
             cache=cache,
             key_index=key_index,
-            mode="batch" if mode == "batch" else "stream",
+            mode=run_mode,
             relation_stats=relation_stats,
             tracer=tracer,
         )
+    if decision is not None and tracer.last is not None:
+        tracer.last.meta = {"auto": decision.to_dict()}
     cache_stats = None
     if cache is not None:
         after = cache.stats()
@@ -163,4 +200,5 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
         work=result.work,
         root=tracer.last,
         cache_stats=cache_stats,
+        decision=decision.to_dict() if decision is not None else None,
     )

@@ -56,7 +56,7 @@ class Span:
     """
 
     __slots__ = ("label", "work", "rows", "wall_s", "cache", "source",
-                 "children")
+                 "children", "meta")
 
     def __init__(self, label: str) -> None:
         self.label = label
@@ -66,6 +66,10 @@ class Span:
         self.cache: Optional[str] = None
         self.source: Optional[str] = None
         self.children: list["Span"] = []
+        #: Free-form deterministic annotations (e.g. the auto-mode
+        #: decision on a root span); ``None`` stays out of ``to_dict``
+        #: and is never part of ``structure()``.
+        self.meta: Optional[dict] = None
 
     def walk(self) -> Iterator["Span"]:
         """Preorder iterator over the span tree (explicit stack)."""
@@ -122,6 +126,8 @@ class Span:
                 entry["cache"] = span.cache
             if span.source is not None:
                 entry["source"] = span.source
+            if span.meta is not None:
+                entry["meta"] = span.meta
             entry["children"] = [memo[id(c)] for c in span.children]
             memo[id(span)] = entry
         return memo[id(self)]

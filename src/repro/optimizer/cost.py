@@ -30,12 +30,32 @@ from .plan import (
 )
 from .rewriter import Rewriter
 
-__all__ = ["Stats", "estimate", "Estimate", "choose_plan"]
+__all__ = [
+    "Stats",
+    "estimate",
+    "Estimate",
+    "choose_plan",
+    "MODE_COST",
+    "ModeDecision",
+    "choose_mode",
+]
 
 #: Default selectivity guesses (classical System R style).
 _SELECT_SELECTIVITY = 0.33
 _DIFF_SURVIVAL = 0.7
 _INTERSECT_SURVIVAL = 0.3
+
+
+def _clamp_selectivity(s: float) -> float:
+    """Force a selectivity into (0, 1].
+
+    Degenerate catalogs (empty relations, zero distinct counts, stats
+    gathered mid-mutation) can otherwise drive a factor to 0, below, or
+    NaN — and a zero selectivity propagates to zero/negative row counts
+    that later divide or subtract into nonsense."""
+    if not s > 0.0:  # catches 0, negatives and NaN in one comparison
+        return 1e-6
+    return min(s, 1.0)
 
 
 @dataclass
@@ -44,6 +64,10 @@ class Stats:
 
     rows: dict[str, int] = field(default_factory=dict)
     widths: dict[str, int] = field(default_factory=dict)
+    #: ``relation -> column index -> distinct value count``.  Optional;
+    #: when present, key-join estimates use real duplication factors
+    #: instead of the one-match-per-row heuristic.
+    distincts: dict[str, dict[int, int]] = field(default_factory=dict)
 
     @classmethod
     def of_database(cls, relations: TMapping[str, object]) -> "Stats":
@@ -54,6 +78,32 @@ class Stats:
             rows[name] = len(relation)
             widths[name] = max((len(t) for t in relation), default=1)
         return cls(rows, widths)
+
+    @classmethod
+    def from_database(cls, db) -> "Stats":
+        """Exact stats from a live :class:`~repro.engine.database.Database`:
+        real cardinalities, cached widths, and per-column distinct
+        counts — not System-R default guesses.
+
+        Cardinalities and widths come from the database's maintained
+        physical state (O(#relations)); distinct counts are one pass
+        per relation and are expected to be memoized by the caller
+        (:meth:`Database.current_stats` caches per mutation
+        generation)."""
+        rows = {}
+        widths = {}
+        distincts = {}
+        for name, relation in db.relations.items():
+            rows[name] = len(relation)
+            width = db.relation_width(name)
+            if width is None:
+                width = max(
+                    (len(t) for t in relation if hasattr(t, "__len__")),
+                    default=1,
+                )
+            widths[name] = max(width, 1)
+            distincts[name] = db.column_distincts(name)
+        return cls(rows, widths, distincts)
 
     @classmethod
     def of_engine_database(cls, db) -> "Stats":
@@ -88,66 +138,104 @@ class Estimate:
 
 
 def estimate(plan: Plan, stats: Stats) -> Estimate:
-    """Bottom-up cost estimation mirroring the executor's work model."""
+    """Bottom-up cost estimation mirroring the executor's work model
+    (explicit stack, any depth — ``mode="auto"`` must cost the same
+    deep chains the executors are stack-safe on)."""
+    memo: dict[int, Estimate] = {}
+    stack: list[tuple[Plan, bool]] = [(plan, False)]
+    while stack:
+        node, ready = stack.pop()
+        if ready:
+            memo[id(node)] = _estimate_node(node, memo, stats)
+            continue
+        if id(node) in memo:
+            continue
+        stack.append((node, True))
+        for child in node.children():
+            stack.append((child, False))
+    return memo[id(plan)]
+
+
+def _estimate_node(
+    plan: Plan, memo: dict[int, Estimate], stats: Stats
+) -> Estimate:
+    """One node's estimate, children already in ``memo``."""
     if isinstance(plan, Scan):
-        rows = stats.rows.get(plan.relation, 0)
-        width = stats.widths.get(plan.relation, 1)
+        rows = max(stats.rows.get(plan.relation, 0), 0)
+        width = max(stats.widths.get(plan.relation, 1), 1)
         return Estimate(rows, width, 0.0)
     if isinstance(plan, Project):
-        child = estimate(plan.child, stats)
+        child = memo[id(plan.child)]
         return Estimate(
             child.rows,  # conservatively: no duplicate collapse
             len(plan.columns),
             child.work + child.weight,
         )
     if isinstance(plan, Select):
-        child = estimate(plan.child, stats)
+        child = memo[id(plan.child)]
         return Estimate(
-            child.rows * _SELECT_SELECTIVITY,
+            child.rows * _clamp_selectivity(_SELECT_SELECTIVITY),
             child.width,
             child.work + child.weight,
         )
     if isinstance(plan, MapNode):
-        child = estimate(plan.child, stats)
+        child = memo[id(plan.child)]
         return Estimate(child.rows, child.width, child.work + child.weight)
     if isinstance(plan, Union):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
+        left = memo[id(plan.left)]
+        right = memo[id(plan.right)]
         return Estimate(
             left.rows + right.rows,
             max(left.width, right.width),
             left.work + right.work + left.weight + right.weight,
         )
     if isinstance(plan, Difference):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
+        left = memo[id(plan.left)]
+        right = memo[id(plan.right)]
         return Estimate(
-            left.rows * _DIFF_SURVIVAL,
+            left.rows * _clamp_selectivity(_DIFF_SURVIVAL),
             left.width,
             left.work + right.work + left.weight + right.weight,
         )
     if isinstance(plan, Intersect):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
+        left = memo[id(plan.left)]
+        right = memo[id(plan.right)]
         return Estimate(
-            min(left.rows, right.rows) * _INTERSECT_SURVIVAL,
+            min(left.rows, right.rows)
+            * _clamp_selectivity(_INTERSECT_SURVIVAL),
             left.width,
             left.work + right.work + left.weight + right.weight,
         )
     if isinstance(plan, Product):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
+        left = memo[id(plan.left)]
+        right = memo[id(plan.right)]
         return Estimate(
             left.rows * right.rows,
             left.width + right.width,
             left.work + right.work + left.rows * right.weight + left.weight,
         )
     if isinstance(plan, Join):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
-        join_rows = (left.rows * right.rows) / max(
-            right.rows, 1
-        )  # one match per left row on a key join, heuristically
+        left = memo[id(plan.left)]
+        right = memo[id(plan.right)]
+        selectivity = None
+        if (
+            plan.on
+            and isinstance(plan.left, Scan)
+            and isinstance(plan.right, Scan)
+        ):
+            # Classical equi-join selectivity 1/max(d(l), d(r)) from
+            # measured per-column distinct counts, when available.
+            i0, j0 = plan.on[0]
+            dl = stats.distincts.get(plan.left.relation, {}).get(i0)
+            dr = stats.distincts.get(plan.right.relation, {}).get(j0)
+            if dl and dr:
+                selectivity = _clamp_selectivity(1.0 / max(dl, dr))
+        if selectivity is not None:
+            join_rows = left.rows * right.rows * selectivity
+        else:
+            join_rows = (left.rows * right.rows) / max(
+                right.rows, 1
+            )  # one match per left row on a key join, heuristically
         return Estimate(
             join_rows,
             left.width + right.width,
@@ -175,3 +263,71 @@ def choose_plan(
         else plan
     )
     return chosen, original_estimate, rewritten_estimate
+
+
+# ----------------------------------------------------------------------
+# Adaptive execution-mode choice (``Database.run(mode="auto")``).
+
+#: Per-mode ``(work factor, fixed overhead)`` calibrated against the
+#: BENCH_PR4/PR6 cold-path measurements: the factor scales the
+#: estimated work (per-unit cost relative to the reference
+#: interpreter), the overhead is the mode's fixed per-execution cost in
+#: the same work units (plan annotation, pipeline setup, artifact
+#: lookup).  Batch beats streaming cold; the compiled path has the
+#: lowest per-unit cost but the highest fixed cost, so tiny plans still
+#: run on the reference interpreter.
+MODE_COST: dict[str, tuple[float, float]] = {
+    "reference": (1.0, 0.0),
+    "stream": (1.05, 30.0),
+    "batch": (0.60, 60.0),
+    "compiled": (0.25, 90.0),
+}
+
+
+@dataclass(frozen=True)
+class ModeDecision:
+    """Outcome of :func:`choose_mode`: the chosen executor plus the
+    per-candidate score table (estimated work × factor + overhead) that
+    produced it, for ``explain``/tracing surfacing."""
+
+    mode: str
+    estimated_work: float
+    scores: dict[str, float]
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "estimated_work": round(self.estimated_work, 3),
+            "scores": {
+                mode: round(score, 3)
+                for mode, score in self.scores.items()
+            },
+        }
+
+
+def choose_mode(
+    plan: Plan,
+    stats: Stats,
+    *,
+    candidates: tuple[str, ...] = (
+        "reference",
+        "stream",
+        "batch",
+        "compiled",
+    ),
+) -> ModeDecision:
+    """Pick the cheapest execution mode for ``plan`` under ``stats``.
+
+    Engine-free: callers restrict ``candidates`` to encode engine
+    constraints (e.g. plans deeper than ``MAX_PIPELINE_DEPTH`` exclude
+    ``"compiled"``, whose codegen would be pathological).  Ties break
+    toward the earlier candidate."""
+    if not candidates:
+        raise ValueError("choose_mode needs at least one candidate mode")
+    est = estimate(plan, stats)
+    scores = {}
+    for mode in candidates:
+        factor, overhead = MODE_COST[mode]
+        scores[mode] = est.work * factor + overhead
+    chosen = min(candidates, key=scores.__getitem__)
+    return ModeDecision(chosen, est.work, scores)

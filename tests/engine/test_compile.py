@@ -1,0 +1,341 @@
+"""Plan-compiler parity and artifact-lifecycle tests.
+
+``execute_compiled`` carries the exact contract of every other
+executor — identical ``CVSet`` answer, identical total work, identical
+per-node ledger as the reference interpreter — while lowering the plan
+to one generated function.  On top of parity, these tests pin the
+artifact lifecycle: memoization under semantic keys, per-relation
+invalidation on mutation, the deep-plan fallback, and interop of the
+result-cache entries it writes with the streaming engine.
+"""
+
+import random
+
+from repro.engine.database import Database
+from repro.engine.exec import (
+    MAX_PIPELINE_DEPTH,
+    PlanCache,
+    compile_plan,
+    execute_compiled,
+    execute_streaming,
+    plan_depth,
+)
+from repro.engine.workload import (
+    deep_chain_plan,
+    hr_database,
+    random_atom_database,
+    random_database,
+    random_nested_database,
+    random_plan,
+)
+from repro.obs.trace import Tracer
+from repro.optimizer.plan import (
+    Difference,
+    Intersect,
+    Join,
+    MapNode,
+    Product,
+    Project,
+    Scan,
+    Select,
+    Union,
+    execute_reference,
+)
+from repro.types.values import CVSet, Tup
+
+NAMES = ("r", "s", "t")
+
+
+def _assert_equivalent(plan, db, *results):
+    reference = execute_reference(plan, db)
+    for result in results:
+        assert result.value == reference.value
+        assert result.work == reference.work
+        assert result.per_node == reference.per_node
+
+
+class TestCompiledEquivalence:
+    def test_random_plans_match_reference(self):
+        """200 random plan/db pairs: compiled cold, artifact-warm and
+        result-warm all agree with the reference, work and ledger
+        included."""
+        rng = random.Random(20260808)
+        for _ in range(200):
+            db = random_database(
+                rng, NAMES, arity=2, domain_size=5,
+                max_rows=rng.randint(0, 12),
+            )
+            plan = random_plan(rng, NAMES, depth=rng.randint(1, 4))
+            store = PlanCache()
+            _assert_equivalent(
+                plan, db,
+                execute_compiled(plan, db),
+                execute_compiled(plan, db, compile_store=store),
+                execute_compiled(plan, db, compile_store=store),  # memo
+                execute_compiled(plan, db, cache=store),  # result-warm
+            )
+
+    def test_nested_value_databases(self):
+        rng = random.Random(71)
+        for _ in range(25):
+            db = random_nested_database(rng, NAMES)
+            plan = random_plan(rng, NAMES, depth=rng.randint(1, 3))
+            _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_atom_relations(self):
+        """Bare atoms: weight 1 per element, unknown widths — the
+        hoisted weight expressions must fall back correctly."""
+        rng = random.Random(72)
+        for _ in range(15):
+            db = random_atom_database(rng, NAMES)
+            op = rng.choice((Union, Difference, Intersect))
+            plan = op(Scan(rng.choice(NAMES)), Scan(rng.choice(NAMES)))
+            _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_join_shapes(self):
+        """Empty-``on``, single-pair and multi-pair joins plus the
+        cartesian Product all ledger-match the reference."""
+        db = {
+            "a": CVSet(Tup((i, i % 3)) for i in range(8)),
+            "b": CVSet(Tup((i % 3, i)) for i in range(6)),
+        }
+        for on in ((), ((0, 0),), ((0, 0), (1, 1))):
+            plan = Join(on, Scan("a"), Scan("b"))
+            _assert_equivalent(plan, db, execute_compiled(plan, db))
+        plan = Product(Scan("a"), Scan("b"))
+        _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_join_with_non_scan_right_child(self):
+        """The pre-built index shortcut only fires for a Scan right
+        child; a computed right side takes the runtime-build path."""
+        db = {
+            "a": CVSet(Tup((i, i % 3)) for i in range(8)),
+            "b": CVSet(Tup((i % 3, i)) for i in range(6)),
+        }
+        plan = Join(((0, 0),), Scan("a"),
+                    Union(Scan("b"), Scan("b")))
+        _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_scan_root_and_empty_projection(self):
+        db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
+        _assert_equivalent(Scan("r"), db, execute_compiled(Scan("r"), db))
+        plan = Project((), Scan("r"))
+        _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_cse_shared_subtree_ledger_splice(self):
+        """A repeated subtree runs once; its ledger segment is spliced
+        at every further occurrence, exactly as the reference logs."""
+        db = {
+            "r": CVSet(Tup((i, i)) for i in range(6)),
+            "s": CVSet(Tup((i, 0)) for i in range(3)),
+        }
+        shared = Union(Scan("r"), Scan("s"))
+        plan = Difference(
+            MapNode("id", lambda t: t, shared, injective=True), shared
+        )
+        _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+    def test_missing_relation_reads_as_empty_like_reference(self):
+        db = {"r": CVSet({Tup((1,))})}
+        plan = Union(Scan("r"), Scan("absent"))
+        _assert_equivalent(plan, db, execute_compiled(plan, db))
+
+
+class TestDeepPlanFallback:
+    def test_deep_chain_falls_back_to_streaming(self):
+        rng = random.Random(73)
+        plan = deep_chain_plan(rng, "r", 5000)
+        assert plan_depth(plan) > MAX_PIPELINE_DEPTH
+        db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
+        store = PlanCache()
+        result = execute_compiled(plan, db, compile_store=store)
+        _assert_equivalent(plan, db, result)
+        # The fallback must not have compiled anything.
+        assert store.compiled_stats()["puts"] == 0
+
+    def test_boundary_depth_still_compiles(self):
+        plan = Scan("r")
+        for _ in range(MAX_PIPELINE_DEPTH - 1):
+            plan = Select("true", lambda t: True, plan)
+        assert plan_depth(plan) == MAX_PIPELINE_DEPTH
+        db = {"r": CVSet({Tup((1,)), Tup((2,))})}
+        store = PlanCache()
+        _assert_equivalent(
+            plan, db, execute_compiled(plan, db, compile_store=store)
+        )
+        assert store.compiled_stats()["puts"] == 1
+
+
+class TestArtifactLifecycle:
+    def test_artifact_memoized_under_semantic_key(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        store = PlanCache()
+        execute_compiled(plan, db, compile_store=store)
+        stats = store.compiled_stats()
+        assert (stats["misses"], stats["puts"], stats["hits"]) == (1, 1, 0)
+        execute_compiled(plan, db, compile_store=store)
+        stats = store.compiled_stats()
+        assert (stats["misses"], stats["puts"], stats["hits"]) == (1, 1, 1)
+
+    def test_structurally_equal_plans_share_one_artifact(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        store = PlanCache()
+        execute_compiled(Project((0,), Scan("r")), db, compile_store=store)
+        execute_compiled(Project((0,), Scan("r")), db, compile_store=store)
+        assert store.compiled_stats()["puts"] == 1
+        assert store.compiled_stats()["hits"] == 1
+
+    def test_zero_capacity_store_never_memoizes(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        store = PlanCache(0)
+        for _ in range(3):
+            _assert_equivalent(
+                plan, db, execute_compiled(plan, db, compile_store=store)
+            )
+        stats = store.compiled_stats()
+        assert stats["puts"] == 0 and stats["hits"] == 0
+        assert stats["entries"] == 0
+
+    def test_invalidate_drops_only_artifacts_reading_the_relation(self):
+        db = {
+            "r": CVSet({Tup((1, 2))}),
+            "s": CVSet({Tup((3, 4))}),
+        }
+        store = PlanCache()
+        execute_compiled(Project((0,), Scan("r")), db, compile_store=store)
+        execute_compiled(Project((0,), Scan("s")), db, compile_store=store)
+        assert store.compiled_stats()["entries"] == 2
+        store.invalidate("r")
+        assert store.compiled_stats()["entries"] == 1
+        execute_compiled(Project((0,), Scan("s")), db, compile_store=store)
+        assert store.compiled_stats()["hits"] == 1
+
+    def test_database_insert_invalidates_artifact(self):
+        """A stale artifact would replay the old scan binding; the
+        mutation path must drop it so results track the live data."""
+        db = Database()
+        db.create("r", 2)
+        db.insert("r", [(i, i) for i in range(4)])
+        plan = Project((0,), Scan("r"))
+        first = db.run(plan, use_cache=False, mode="compiled")
+        _assert_equivalent(plan, db.relations, first)
+        db.insert("r", [(9, 9), (10, 10)])
+        second = db.run(plan, use_cache=False, mode="compiled")
+        _assert_equivalent(plan, db.relations, second)
+        assert second.value != first.value
+
+    def test_compile_plan_is_specialized_to_current_contents(self):
+        """A raw artifact replays the data it was compiled against —
+        the documented reason artifacts live under semantic keys."""
+        db = {"r": CVSet({Tup((1, 2))})}
+        compiled = compile_plan(Project((0,), Scan("r")), db)
+        db["r"] = CVSet({Tup((7, 8))})
+        values, _, _ = compiled.run()
+        assert CVSet(values) == CVSet({Tup((1,))})
+
+
+class TestCacheInterop:
+    def test_compiled_writes_streaming_hits(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        cache = PlanCache()
+        execute_compiled(plan, db, cache=cache)
+        cache.reset_stats()
+        result = execute_streaming(plan, db, cache=cache)
+        assert cache.hits >= 1
+        _assert_equivalent(plan, db, result)
+
+    def test_streaming_writes_compiled_hits(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        cache = PlanCache()
+        execute_streaming(plan, db, cache=cache)
+        cache.reset_stats()
+        result = execute_compiled(plan, db, cache=cache)
+        assert cache.hits >= 1
+        _assert_equivalent(plan, db, result)
+
+    def test_predicate_aliasing_keeps_keys_distinct(self):
+        """Two same-named predicates with different behavior must not
+        collide in either the result cache or the artifact store."""
+        db = {"r": CVSet(Tup((i,)) for i in range(6))}
+        low = Select("cut", lambda t: t.items[0] < 2, Scan("r"))
+        high = Select("cut", lambda t: t.items[0] >= 2, Scan("r"))
+        cache = PlanCache()
+        a = execute_compiled(low, db, cache=cache)
+        b = execute_compiled(high, db, cache=cache)
+        _assert_equivalent(low, db, a)
+        _assert_equivalent(high, db, b)
+        assert a.value != b.value
+
+
+class TestDatabaseCompiledRun:
+    def test_run_mode_compiled_with_prebuilt_join_index(self):
+        db = Database()
+        db.create("e", 3)
+        db.insert("e", [(i, i % 5, i * 2) for i in range(40)])
+        db.create("k", 2)
+        db.insert("k", [(i % 5, str(i)) for i in range(10)])
+        plan = Join(((1, 0),), Scan("e"), Scan("k"))
+        result = db.run(plan, use_cache=False, mode="compiled")
+        _assert_equivalent(plan, db.relations, result)
+
+    def test_hr_workload_matches_reference(self):
+        db = hr_database(random.Random(11), employees=40, students=25,
+                         overlap=10)
+        plan = Project((0,), Difference(Scan("employees"),
+                                        Scan("students")))
+        result = db.run(plan, use_cache=False, mode="compiled")
+        _assert_equivalent(plan, db.relations, result)
+
+    def test_use_cache_false_still_memoizes_the_program(self):
+        """``use_cache=False`` disables the *result* cache only; the
+        artifact memo is a program cache and stays warm."""
+        db = Database()
+        db.create("r", 2)
+        db.insert("r", [(i, i) for i in range(4)])
+        plan = Project((0,), Scan("r"))
+        db.run(plan, use_cache=False, mode="compiled")
+        db.run(plan, use_cache=False, mode="compiled")
+        stats = db.plan_cache.compiled_stats()
+        assert stats["puts"] == 1 and stats["hits"] == 1
+        assert db.plan_cache.stats()["puts"] == 0
+
+
+class TestCompiledTracing:
+    def test_span_tree_work_matches_result(self):
+        db = hr_database(random.Random(12), employees=30, students=20,
+                         overlap=8)
+        plan = Project((0,), Difference(Scan("employees"),
+                                        Scan("students")))
+        tracer = Tracer()
+        result = execute_compiled(plan, db.relations, tracer=tracer)
+        assert tracer.last is not None
+        assert tracer.last.total_work() == result.work
+        assert tracer.last.rows == len(result.value)
+
+    def test_cse_span_tree_work_matches_result(self):
+        db = {
+            "r": CVSet(Tup((i, i)) for i in range(6)),
+            "s": CVSet(Tup((i, 0)) for i in range(3)),
+        }
+        shared = Union(Scan("r"), Scan("s"))
+        plan = Difference(
+            MapNode("id", lambda t: t, shared, injective=True), shared
+        )
+        tracer = Tracer()
+        result = execute_compiled(plan, db, tracer=tracer)
+        assert tracer.last.total_work() == result.work
+
+    def test_result_cache_hit_is_a_single_span(self):
+        db = {"r": CVSet(Tup((i, i)) for i in range(5))}
+        plan = Project((0,), Scan("r"))
+        cache = PlanCache()
+        execute_compiled(plan, db, cache=cache)
+        tracer = Tracer()
+        result = execute_compiled(plan, db, cache=cache, tracer=tracer)
+        _assert_equivalent(plan, db, result)
+        assert tracer.last.cache == "hit"
+        assert tracer.last.children == []

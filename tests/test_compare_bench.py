@@ -118,6 +118,46 @@ class TestCompare:
         regressions, _ = compare_bench.compare(old, new, 0.20, 1e-4)
         assert regressions == []
 
+    def test_new_field_baseline_gates_added_column(self):
+        """A column only the new file has is gated against the mapped
+        old column instead of getting the added-field free pass."""
+        old = doc(suite("a", [{"size": 1, "batch_cold_s": 0.1}]))
+        new = doc(suite("a", [
+            {"size": 1, "batch_cold_s": 0.1, "compiled_cold_s": 0.5},
+        ]))
+        regressions, _ = compare_bench.compare(
+            old, new, 0.20, 1e-4,
+            {"compiled_cold_s": "batch_cold_s"},
+        )
+        assert len(regressions) == 1
+        assert "compiled_cold_s (vs batch_cold_s)" in regressions[0][1]
+
+    def test_new_field_baseline_clean_when_new_column_is_faster(self):
+        old = doc(suite("a", [{"size": 1, "batch_cold_s": 0.1}]))
+        new = doc(suite("a", [
+            {"size": 1, "batch_cold_s": 0.1, "compiled_cold_s": 0.05},
+        ]))
+        regressions, _ = compare_bench.compare(
+            old, new, 0.20, 1e-4,
+            {"compiled_cold_s": "batch_cold_s"},
+        )
+        assert regressions == []
+
+    def test_new_field_baseline_ignored_once_both_sides_have_field(self):
+        """When the old file grows the new column, the direct
+        comparison wins and the baseline mapping is inert."""
+        old = doc(suite("a", [
+            {"size": 1, "batch_cold_s": 0.1, "compiled_cold_s": 0.3},
+        ]))
+        new = doc(suite("a", [
+            {"size": 1, "batch_cold_s": 0.1, "compiled_cold_s": 0.3},
+        ]))
+        regressions, _ = compare_bench.compare(
+            old, new, 0.20, 1e-4,
+            {"compiled_cold_s": "batch_cold_s"},
+        )
+        assert regressions == []
+
 
 class TestMain:
     def _write(self, tmp_path, name, payload):
@@ -161,6 +201,30 @@ class TestMain:
         )
         assert compare_bench.main([old, new]) == 1
         assert compare_bench.main([old, new, "--threshold", "0.5"]) == 0
+
+    def test_new_field_baseline_flag(self, tmp_path):
+        old = self._write(tmp_path, "old.json", doc(
+            suite("a", [{"size": 1, "batch_cold_s": 0.1}]),
+        ))
+        new = self._write(tmp_path, "new.json", doc(
+            suite("a", [{"size": 1, "batch_cold_s": 0.1,
+                         "compiled_cold_s": 0.5}]),
+        ))
+        assert compare_bench.main([old, new]) == 0
+        assert compare_bench.main([
+            old, new,
+            "--new-field-baseline", "compiled_cold_s=batch_cold_s",
+        ]) == 1
+
+    def test_new_field_baseline_flag_rejects_malformed_spec(
+        self, tmp_path, capsys
+    ):
+        old = self._write(tmp_path, "old.json", doc())
+        new = self._write(tmp_path, "new.json", doc())
+        assert compare_bench.main(
+            [old, new, "--new-field-baseline", "no-equals"]
+        ) == 2
+        assert "NEW=OLD" in capsys.readouterr().err
 
     def test_exit_2_on_missing_or_invalid_input(self, tmp_path, capsys):
         ok = self._write(tmp_path, "ok.json", doc())
