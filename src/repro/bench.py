@@ -2,7 +2,7 @@
 
 Importable as :mod:`repro.bench` (``python -m repro bench``) with
 ``benchmarks/run_bench.py`` kept as a thin path-setting shim.  Writes
-``BENCH_PR6.json`` at the repo root by default.
+``BENCH_PR7.json`` at the repo root by default.
 
 Measurements:
 
@@ -137,6 +137,12 @@ def bench_plan_execution(sizes=(100, 400, 1600)) -> dict:
         auto = db.run(plan, mode="auto", use_cache=False)
         assert auto.value == reference.value
         auto_s = _time(lambda: db.run(plan, mode="auto", use_cache=False))
+        # Disabled-injection robustness path: the same streaming cold
+        # run, routed through Database.run's degradation chain with no
+        # injector attached — what the fault hooks cost when off.
+        chaos = db.run(plan, use_cache=False)
+        assert chaos.value == reference.value
+        chaos_s = _time(lambda: db.run(plan, use_cache=False))
         db.run(plan)  # warm
         warm_s = _time(lambda: db.run(plan))
         check = db.run(plan)
@@ -149,6 +155,7 @@ def bench_plan_execution(sizes=(100, 400, 1600)) -> dict:
             "batch_cold_s": batch_s,
             "compiled_cold_s": compiled_s,
             "auto_s": auto_s,
+            "chaos_overhead_s": chaos_s,
             "cached_warm_s": warm_s,
             "streaming_speedup": reference_s / max(streaming_s, 1e-9),
             "batch_speedup": reference_s / max(batch_s, 1e-9),
@@ -425,14 +432,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel suites "
                              "(0 = all cores)")
-    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--out", default="BENCH_PR7.json")
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     sizes = (100, 400) if args.quick else (100, 400, 1600)
     results = {
-        "pr": 6,
-        "title": "plan compiler + cost-driven adaptive execution",
+        "pr": 7,
+        "title": "fault injection + graceful executor degradation",
         "cpu_count": os.cpu_count(),
         "benchmarks": [],
     }

@@ -9,6 +9,7 @@
     python -m repro optimize "pi[1](employees - students)"
     python -m repro explain "pi[1](employees - students)" [--mode M]
     python -m repro fuzz --seeds 200 [--jobs N]    # differential fuzz
+    python -m repro chaos --seeds 200         # fuzz under injected faults
     python -m repro bench [--out FILE] [--quick]   # benchmark suites
     python -m repro writeup [path]            # regenerate EXPERIMENTS.md
 
@@ -211,6 +212,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .robustness import run_chaos
+
+    report = run_chaos(
+        args.seeds,
+        base_seed=args.base_seed,
+        crash_every=args.crash_every,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench import main as bench_main
 
@@ -314,12 +327,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_parser.set_defaults(fn=_cmd_fuzz)
 
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the fuzz matrix under injected faults (degradation "
+        "must absorb every fault with zero divergences)",
+    )
+    chaos_parser.add_argument("--seeds", type=int, default=50)
+    chaos_parser.add_argument("--base-seed", type=int, default=0)
+    chaos_parser.add_argument(
+        "--crash-every", type=int, default=25,
+        help="run the worker-crash scenario every Nth seed (0 disables)",
+    )
+    chaos_parser.set_defaults(fn=_cmd_chaos)
+
     bench_parser = sub.add_parser(
         "bench", help="run the benchmark suites and write a BENCH json"
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR6.json",
-        help="output path (default: BENCH_PR6.json)",
+        "--out", default="BENCH_PR7.json",
+        help="output path (default: BENCH_PR7.json)",
     )
     bench_parser.add_argument(
         "--quick", action="store_true",

@@ -42,9 +42,17 @@ from .exec import (
     relation_fingerprint,
 )
 
-__all__ = ["Database", "SchemaError"]
+__all__ = ["Database", "SchemaError", "MODE_CHAIN"]
 
 _EMPTY = CVSet()
+
+#: Degradation order for :meth:`Database.run`: on executor failure,
+#: fall back one step right.  The reference interpreter is the
+#: injection-free terminal fallback — it has no cache, no compiler and
+#: no fault hooks, so the chain always terminates with an answer (or
+#: re-raises if even the reference fails, which no injected fault can
+#: cause).
+MODE_CHAIN = ("compiled", "batch", "stream", "reference")
 
 
 class SchemaError(Exception):
@@ -83,6 +91,9 @@ class Database:
         #: plan reference pins the id against reuse; bounded, cleared
         #: wholesale when full.
         self._mode_memo: dict[int, tuple[int, Plan, object]] = {}
+        #: Optional :class:`~repro.robustness.faults.FaultInjector`;
+        #: see the ``fault_injector`` property.
+        self._fault_injector = None
 
     def create(
         self,
@@ -100,7 +111,14 @@ class Database:
                 dict(shared_keys or {}),
             )
         )
-        self.relations.setdefault(name, CVSet())
+        if name not in self.relations:
+            self.relations[name] = CVSet()
+            # Seed the width cache with the declared arity: computing
+            # the width of an empty relation yields ``None`` (no rows
+            # to measure), and a cached ``None`` would defeat the
+            # batch/compiled executors' O(1) count*width accounting
+            # for the relation's whole life.
+            self._widths[name] = arity
 
     def insert(self, name: str, rows: Iterable[Sequence[Value]]) -> None:
         """Insert rows, validating arity and declared keys.
@@ -139,11 +157,15 @@ class Database:
             self._atoms[name] = self._atoms[name] | extra
         if name in self._weights:
             self._weights[name] += sum(tuple_weight(t) for t in new_rows)
-        if self._widths.get(name, info.arity) != info.arity:
-            # Inserted rows all have the declared arity; a differing
-            # cached width (stale from a wholesale replacement) means
-            # the relation is now mixed-width.
-            self._widths[name] = None
+        cached_width = self._widths.get(name, info.arity)
+        if cached_width != info.arity:
+            # Inserted rows all have the declared arity.  If the
+            # relation was empty, its width *is* the declared arity now
+            # (a cached ``None`` here just means "measured while
+            # empty", not "mixed" — never let it pin the relation as
+            # widthless forever).  Otherwise a differing cached width
+            # means the relation is genuinely mixed-width.
+            self._widths[name] = info.arity if not current else None
         self._distincts.pop(name, None)
         self._generation += 1
         self.plan_cache.invalidate(name)
@@ -190,11 +212,19 @@ class Database:
         by the streaming executor's join build sides.
         """
         cols = tuple(columns)
+        if name not in self.relations:
+            # Unknown relation: hand back a throwaway empty index
+            # without caching it.  A cached entry under this name
+            # would be maintained as stale-empty if the relation is
+            # later created and populated (``insert`` maintains every
+            # cached index for the inserted relation, including ones
+            # built before the relation existed).
+            return {}
         per_relation = self._eq_indexes.setdefault(name, {})
         index = per_relation.get(cols)
         if index is None:
             index = {}
-            for t in self.relations.get(name, _EMPTY):
+            for t in self.relations[name]:
                 index.setdefault(tuple(t[i] for i in cols), []).append(t)
             per_relation[cols] = index
         return index
@@ -354,6 +384,52 @@ class Database:
     # ------------------------------------------------------------------
     # Execution.
 
+    @property
+    def fault_injector(self):
+        """Optional :class:`~repro.robustness.faults.FaultInjector`
+        threaded into the executors and the plan cache.  Assigning it
+        here also attaches the ``cache`` fault site to
+        :attr:`plan_cache`; assign ``None`` to detach everywhere."""
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector) -> None:
+        self._fault_injector = injector
+        self.plan_cache.fault_injector = injector
+
+    def _run_mode(
+        self, plan: Plan, mode: str, use_cache: bool, tracer
+    ) -> ExecutionResult:
+        """Dispatch one executor attempt (no fallback)."""
+        if mode == "reference":
+            # The terminal fallback: no cache, no compiler, no fault
+            # hooks — an injected fault can never reach it.
+            return execute_reference(plan, self.relations, tracer=tracer)
+        if mode == "compiled":
+            # The artifact memo is a *program* cache, not a result
+            # cache: it stays on even when ``use_cache=False`` asks for
+            # result-cold execution.
+            return execute_compiled(
+                plan,
+                self.relations,
+                cache=self.plan_cache if use_cache else None,
+                compile_store=self.plan_cache,
+                key_index=self._join_index,
+                relation_stats=self.relation_stats,
+                tracer=tracer,
+                fault_injector=self._fault_injector,
+            )
+        return execute_streaming(
+            plan,
+            self.relations,
+            cache=self.plan_cache if use_cache else None,
+            key_index=self._join_index,
+            mode=mode,
+            relation_stats=self.relation_stats,
+            tracer=tracer,
+            fault_injector=self._fault_injector,
+        )
+
     def run(
         self,
         plan: Plan,
@@ -376,43 +452,62 @@ class Database:
         per (plan, mutation generation) and surfaced on the root span's
         ``meta`` when tracing.  See docs/EXECUTION.md.
 
+        **Graceful degradation**: if an executor fails mid-query (an
+        injected fault, a compile error, any unexpected exception), the
+        engine falls back down :data:`MODE_CHAIN` — compiled → batch →
+        stream → reference — starting from the requested mode, and
+        re-runs on the next-simpler executor.  Executor parity
+        guarantees the fallback answer is the answer (identical value,
+        work, ledger).  Every degradation event bumps the
+        ``robustness.degraded`` metrics counters and is annotated on
+        the root span's ``meta["degraded"]`` so EXPLAIN/tracing show
+        why a mode was not used; see docs/ROBUSTNESS.md.  The reference
+        interpreter is the end of the chain — if it fails too, the
+        error propagates.
+
         ``tracer`` (a :class:`~repro.obs.trace.Tracer`) records a span
         tree for the execution; see docs/OBSERVABILITY.md."""
         decision = None
         if mode == "auto":
             decision = self.plan_mode(plan)
             mode = decision.mode
-        if mode == "reference":
-            result = execute_reference(plan, self.relations, tracer=tracer)
-        elif mode == "compiled":
-            # The artifact memo is a *program* cache, not a result
-            # cache: it stays on even when ``use_cache=False`` asks for
-            # result-cold execution.
-            result = execute_compiled(
-                plan,
-                self.relations,
-                cache=self.plan_cache if use_cache else None,
-                compile_store=self.plan_cache,
-                key_index=self._join_index,
-                relation_stats=self.relation_stats,
-                tracer=tracer,
-            )
+        if mode in MODE_CHAIN:
+            chain_start = MODE_CHAIN.index(mode)
         else:
-            result = execute_streaming(
-                plan,
-                self.relations,
-                cache=self.plan_cache if use_cache else None,
-                key_index=self._join_index,
-                mode=mode,
-                relation_stats=self.relation_stats,
-                tracer=tracer,
+            raise ValueError(
+                f"mode must be 'auto', 'reference', 'stream', 'batch' "
+                f"or 'compiled', got {mode!r}"
             )
-        if (
-            decision is not None
-            and tracer is not None
-            and tracer.last is not None
-        ):
-            tracer.last.meta = {"auto": decision.to_dict()}
+        chain = MODE_CHAIN[chain_start:]
+        degraded: list[dict] = []
+        result: Optional[ExecutionResult] = None
+        for step, attempt in enumerate(chain):
+            try:
+                result = self._run_mode(plan, attempt, use_cache, tracer)
+                break
+            except Exception as exc:
+                if step == len(chain) - 1:
+                    raise
+                from ..obs.metrics import counter
+
+                counter("robustness.degraded")
+                counter(f"robustness.degraded.{attempt}")
+                degraded.append(
+                    {
+                        "mode": attempt,
+                        "to": chain[step + 1],
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+        meta: dict = {}
+        if decision is not None:
+            meta["auto"] = decision.to_dict()
+        if degraded:
+            meta["degraded"] = degraded
+        if meta and tracer is not None and tracer.last is not None:
+            # Merge, never clobber: the executor may have attached its
+            # own meta to the root span already.
+            tracer.last.merge_meta(meta)
         return result
 
     def run_reference(self, plan: Plan, *, tracer=None) -> ExecutionResult:

@@ -8,7 +8,7 @@ maps onto the Section 4.4 cost model.
 """
 
 from .batch import execute_batch
-from .cache import CacheEntry, CacheInvariantError, PlanCache
+from .cache import CacheEntry, CacheInvariantError, PlanCache, entry_seal
 from .compile import CompiledPlan, compile_plan, execute_compiled, plan_depth
 from .executor import MAX_PIPELINE_DEPTH, execute_streaming, subtree_counts
 from .fingerprint import (
@@ -25,6 +25,7 @@ __all__ = [
     "CacheEntry",
     "CacheInvariantError",
     "PlanCache",
+    "entry_seal",
     "MAX_PIPELINE_DEPTH",
     "CompiledPlan",
     "compile_plan",

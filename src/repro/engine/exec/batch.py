@@ -127,6 +127,7 @@ def execute_batch(
     key_index=None,
     relation_stats: Optional[RelationStats] = None,
     tracer: Optional[Tracer] = None,
+    fault_injector=None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` one whole operator at a time.
 
@@ -137,6 +138,10 @@ def execute_batch(
     :meth:`~repro.obs.trace.Span.structure` matches a cold streaming
     run of the same plan exactly (labels, rows, work, cache
     annotations); ``wall_s`` here is per-operator compute time.
+
+    ``fault_injector`` draws one seeded ``"operator"`` fault per bulk
+    operator evaluated, before the operator runs — the failed
+    execution records no spans and caches no partial results.
     """
     if cache is not None:
         info = cache.annotate(plan)
@@ -226,6 +231,8 @@ def execute_batch(
 
         # _COMBINE: children computed, evaluate this operator in bulk.
         _, node, log_start, work_start, prebuilt = item
+        if fault_injector is not None:
+            fault_injector.maybe_raise("operator", node_label(node))
         n = len(node.children()) - (1 if prebuilt is not None else 0)
         inputs = out[-n:]
         del out[-n:]

@@ -35,7 +35,7 @@ from ...optimizer.plan import Plan
 from ...types.values import CVSet
 from .fingerprint import annotate_plan, callable_identity, semantic_cache_key
 
-__all__ = ["CacheEntry", "CacheInvariantError", "PlanCache"]
+__all__ = ["CacheEntry", "CacheInvariantError", "PlanCache", "entry_seal"]
 
 
 class CacheInvariantError(RuntimeError):
@@ -46,12 +46,26 @@ class CacheInvariantError(RuntimeError):
 @dataclass(frozen=True)
 class CacheEntry:
     """A materialized plan result: answer, total work, per-node ledger,
-    and the base relations the plan read (for invalidation)."""
+    and the base relations the plan read (for invalidation).
+
+    ``seal`` is a content fingerprint over ``(value, work, entries)``,
+    stamped by :meth:`PlanCache.put` and re-checked by
+    :meth:`PlanCache.get` — an entry whose contents no longer match its
+    seal (a poisoned or bit-flipped entry) is dropped and served as a
+    miss instead of returned.  O(1) for the value (``CVSet`` hashes are
+    precomputed at construction) plus a tuple hash over the ledger.
+    """
 
     value: CVSet
     work: int
     entries: tuple[tuple[str, int], ...]
     relations: frozenset[str]
+    seal: Optional[int] = None
+
+
+def entry_seal(value: CVSet, work: int, entries: tuple) -> int:
+    """The content fingerprint :meth:`PlanCache.put` stamps entries with."""
+    return hash((value, work, entries))
 
 
 class PlanCache:
@@ -102,6 +116,14 @@ class PlanCache:
         self.puts = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Entries dropped because their contents no longer matched
+        #: their seal (see :func:`entry_seal`).
+        self.corruptions = 0
+        #: Optional :class:`~repro.robustness.faults.FaultInjector`
+        #: whose ``cache`` site tampers entries on ``get`` — the test
+        #: adversary for the seal revalidation above.  ``None`` (the
+        #: default) costs one attribute check per hit.
+        self.fault_injector = None
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -149,14 +171,48 @@ class PlanCache:
         if entry is None:
             self.misses += 1
             return None
+        if self.fault_injector is not None:
+            entry = self.fault_injector.tamper_entry(entry)
+        if entry.seal is not None and entry.seal != entry_seal(
+            entry.value, entry.work, entry.entries
+        ):
+            # Revalidation failed: the entry's contents drifted from
+            # the fingerprint stamped at put time.  Never return it —
+            # drop the stored entry and report a miss, so the caller
+            # recomputes and re-puts a clean one.
+            self.corruptions += 1
+            self._discard(key)
+            self.misses += 1
+            from ...obs.metrics import counter
+
+            counter("robustness.cache.corruption_detected")
+            return None
         self._entries.move_to_end(key)
         self.hits += 1
         return entry
+
+    def _discard(self, key) -> None:
+        """Drop one entry and its relation back-pointers (no counters)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        for name in entry.relations:
+            keys = self._by_relation.get(name)
+            if keys is not None:
+                keys.discard(key)
 
     def put(self, key, entry: CacheEntry) -> None:
         if self.capacity <= 0:
             return
         self.puts += 1
+        if entry.seal is None:
+            entry = CacheEntry(
+                entry.value,
+                entry.work,
+                entry.entries,
+                entry.relations,
+                entry_seal(entry.value, entry.work, entry.entries),
+            )
         old = self._entries.pop(key, None)
         if old is not None:
             # Re-put refreshes the entry (and its LRU position); drop
@@ -265,6 +321,7 @@ class PlanCache:
         self.puts = 0
         self.evictions = 0
         self.invalidations = 0
+        self.corruptions = 0
 
     @property
     def hit_rate(self) -> float:
@@ -279,6 +336,7 @@ class PlanCache:
             "puts": self.puts,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "corruptions": self.corruptions,
             "entries": len(self._entries),
             "capacity": self.capacity,
         }

@@ -638,6 +638,7 @@ def execute_compiled(
     key_index=None,
     relation_stats=None,
     tracer: Optional[Tracer] = None,
+    fault_injector=None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` through the plan compiler.
 
@@ -654,6 +655,11 @@ def execute_compiled(
     :data:`~repro.engine.exec.executor.MAX_PIPELINE_DEPTH` fall back to
     the streaming engine (identical contract, no giant generated
     source).
+
+    ``fault_injector`` draws a seeded ``"compile"`` fault before plan
+    lowering and an ``"operator"`` fault before the compiled function
+    runs; a cache hit skips both draws (a stored answer involves no
+    compilation and no operators).
     """
     if plan_depth(plan) > MAX_PIPELINE_DEPTH:
         from .executor import execute_streaming
@@ -665,6 +671,7 @@ def execute_compiled(
             key_index=key_index,
             relation_stats=relation_stats,
             tracer=tracer,
+            fault_injector=fault_injector,
         )
 
     store = compile_store if compile_store is not None else cache
@@ -700,6 +707,8 @@ def execute_compiled(
         store_key = semantic_cache_key(*store_info[id(plan)], db)
         compiled = store.get_compiled(store_key)
     if compiled is None:
+        if fault_injector is not None:
+            fault_injector.maybe_raise("compile", node_label(plan))
         compiled = compile_plan(
             plan,
             db,
@@ -710,6 +719,8 @@ def execute_compiled(
         if store is not None:
             store.put_compiled(store_key, compiled)
 
+    if fault_injector is not None:
+        fault_injector.maybe_raise("operator", node_label(plan))
     start = time.perf_counter() if tracer is not None else 0.0
     values, log, cse_values = compiled.run()
     value = CVSet(values)

@@ -150,6 +150,7 @@ def execute_streaming(
     mode: str = "stream",
     relation_stats=None,
     tracer: Optional[Tracer] = None,
+    fault_injector=None,
 ) -> ExecutionResult:
     """Evaluate ``plan`` over ``db`` with the streaming engine.
 
@@ -172,6 +173,14 @@ def execute_streaming(
     and shortcut annotations.  ``None`` (the default) is the zero-
     overhead path; tracing never changes the result or the cache
     contents (see ``docs/OBSERVABILITY.md``).
+
+    ``fault_injector`` (a :class:`~repro.robustness.faults.
+    FaultInjector`) draws a seeded ``"operator"`` fault per physical
+    operator wired — the chaos adversary for the degradation chain in
+    :meth:`~repro.engine.database.Database.run`.  ``None`` (the
+    default) costs one ``is not None`` check per operator.  Faults are
+    drawn *before* the operator is wired, so a failed execution never
+    records spans or pollutes the cache with partial results.
     """
     if mode == "batch":
         from .batch import execute_batch
@@ -183,6 +192,7 @@ def execute_streaming(
             key_index=key_index,
             relation_stats=relation_stats,
             tracer=tracer,
+            fault_injector=fault_injector,
         )
     if mode == "compiled":
         from .compile import execute_compiled
@@ -194,6 +204,7 @@ def execute_streaming(
             key_index=key_index,
             relation_stats=relation_stats,
             tracer=tracer,
+            fault_injector=fault_injector,
         )
     if mode != "stream":
         raise ValueError(
@@ -335,6 +346,8 @@ def execute_streaming(
 
         # _COMBINE
         _, node, frame, build_side, top, flavor, extra = item
+        if fault_injector is not None:
+            fault_injector.maybe_raise("operator", node_label(node))
         if flavor == _BULK:
             children_depth = 0
             inputs: list[Iterator[Value]] = []

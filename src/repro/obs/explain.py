@@ -86,6 +86,9 @@ class ExplainReport:
     #: ``mode="auto"`` only: the cost model's decision —
     #: ``{"mode", "estimated_work", "scores"}``.
     decision: Optional[dict] = None
+    #: Graceful-degradation events (``Database.run`` fallbacks), each
+    #: ``{"mode", "to", "error"}`` — why a mode was not used.
+    degraded: Optional[list] = None
 
     def to_dict(self, *, wall: bool = True) -> dict:
         out = {
@@ -99,6 +102,8 @@ class ExplainReport:
             out["cache"] = self.cache_stats
         if self.decision is not None:
             out["decision"] = self.decision
+        if self.degraded is not None:
+            out["degraded"] = self.degraded
         return out
 
     def render(self, *, wall: bool = True) -> str:
@@ -122,6 +127,12 @@ class ExplainReport:
                 f" (est work {self.decision['estimated_work']:g};"
                 f" scores {scores})"
             )
+        if self.degraded:
+            for event in self.degraded:
+                header += (
+                    f"\ndegraded: {event['mode']} -> {event['to']}"
+                    f" ({event['error']})"
+                )
         return header + "\n" + render_span_tree(self.root, wall=wall)
 
 
@@ -156,11 +167,18 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
 
     before = cache.stats() if cache is not None else None
     decision = None
-    run_mode = mode
-    if mode == "auto":
-        if hasattr(db, "plan_mode"):
-            decision = db.plan_mode(plan)
-        else:
+    if hasattr(db, "run"):
+        # A ``Database`` executes through ``Database.run``, so EXPLAIN
+        # sees exactly what production sees: the auto-mode decision
+        # *and* any graceful-degradation fallbacks, both merged onto
+        # the root span's meta by ``run`` itself.
+        result = db.run(plan, mode=mode, use_cache=use_cache,
+                        tracer=tracer)
+        if mode == "auto":
+            decision = db.plan_mode(plan)  # memoized: same decision
+    else:
+        run_mode = mode
+        if mode == "auto":
             from ..engine.exec import MAX_PIPELINE_DEPTH, plan_depth
             from ..optimizer.cost import Stats, choose_mode
 
@@ -170,21 +188,26 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
             decision = choose_mode(
                 plan, Stats.of_database(relations), candidates=candidates
             )
-        run_mode = decision.mode
-    if run_mode == "reference":
-        result = execute_reference(plan, relations, tracer=tracer)
-    else:
-        result = execute_streaming(
-            plan,
-            relations,
-            cache=cache,
-            key_index=key_index,
-            mode=run_mode,
-            relation_stats=relation_stats,
-            tracer=tracer,
-        )
-    if decision is not None and tracer.last is not None:
-        tracer.last.meta = {"auto": decision.to_dict()}
+            run_mode = decision.mode
+        if run_mode == "reference":
+            result = execute_reference(plan, relations, tracer=tracer)
+        else:
+            result = execute_streaming(
+                plan,
+                relations,
+                cache=cache,
+                key_index=key_index,
+                mode=run_mode,
+                relation_stats=relation_stats,
+                tracer=tracer,
+            )
+        if decision is not None and tracer.last is not None:
+            # Merge, never clobber — the executor may have attached
+            # meta of its own.
+            tracer.last.merge_meta({"auto": decision.to_dict()})
+    degraded = None
+    if tracer.last is not None and tracer.last.meta is not None:
+        degraded = tracer.last.meta.get("degraded")
     cache_stats = None
     if cache is not None:
         after = cache.stats()
@@ -201,4 +224,5 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
         root=tracer.last,
         cache_stats=cache_stats,
         decision=decision.to_dict() if decision is not None else None,
+        degraded=degraded,
     )

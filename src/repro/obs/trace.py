@@ -71,6 +71,15 @@ class Span:
         #: and is never part of ``structure()``.
         self.meta: Optional[dict] = None
 
+    def merge_meta(self, updates: dict) -> None:
+        """Merge ``updates`` into ``meta`` without clobbering keys some
+        other layer already attached (the executor, the auto-mode
+        decision, a degradation record — all coexist on the root)."""
+        if self.meta is None:
+            self.meta = dict(updates)
+        else:
+            self.meta.update(updates)
+
     def walk(self) -> Iterator["Span"]:
         """Preorder iterator over the span tree (explicit stack)."""
         stack = [self]

@@ -16,7 +16,18 @@ nondeterminism of its own*.  :func:`parallel_map` guarantees that:
   of which process finished first;
 * **serial reference path** — ``jobs <= 1`` runs the plain list
   comprehension in-process.  Byte-identical output between the two
-  paths is the harness's contract (and is asserted by the benchmarks).
+  paths is the harness's contract (and is asserted by the benchmarks);
+* **crash resilience** — a worker process dying hard (segfault, OOM
+  kill, ``os._exit``) breaks the whole :class:`~concurrent.futures.
+  ProcessPoolExecutor`, not just its chunk.  The harness collects the
+  chunks that finished before the crash, rebuilds the pool, and
+  resubmits exactly the unfinished chunks (same contents, same chunk
+  indexes — the re-shard is deterministic).  After
+  ``max_chunk_retries`` crashes, a chunk runs serially in the *parent*
+  process instead, so the merged output stays byte-identical to the
+  serial path no matter how unreliable the workers are.  Ordinary
+  worker *exceptions* are not retried — they propagate, exactly as the
+  serial list comprehension would raise them.
 
 Workers must be top-level (picklable-by-reference) functions, and both
 items and results must pickle.  Objects that close over lambdas (e.g.
@@ -29,6 +40,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar
 
 __all__ = ["parallel_map", "chunked", "default_jobs"]
@@ -50,14 +62,23 @@ def chunked(items: Sequence[T], chunk_size: int) -> Iterator[Sequence[T]]:
         yield items[start : start + chunk_size]
 
 
-def _apply_chunk(payload: tuple[Callable[[T], R], Sequence[T]]) -> list[R]:
-    """Worker-side: run one chunk through the worker, preserving order."""
-    worker, chunk = payload
+def _apply_chunk(
+    payload: tuple[Callable[[T], R], Sequence[T], int, int, object],
+) -> list[R]:
+    """Worker-side: run one chunk through the worker, preserving order.
+
+    ``fault`` (the ``chunk_fault`` hook, e.g. :class:`~repro.robustness.
+    faults.WorkerCrash`) runs first, in the worker process, with the
+    chunk's index and attempt number — it may kill the process.
+    """
+    worker, chunk, index, attempt, fault = payload
+    if fault is not None:
+        fault(index, attempt)
     return [worker(item) for item in chunk]
 
 
 def _apply_chunk_traced(
-    payload: tuple[Callable[[T], R], Sequence[T]],
+    payload: tuple[Callable[[T], R], Sequence[T], int, int, object],
 ) -> tuple[list[R], dict]:
     """Like :func:`_apply_chunk`, but also ship the chunk's metrics.
 
@@ -67,7 +88,9 @@ def _apply_chunk_traced(
     """
     from ..obs.metrics import REGISTRY, snapshot_delta
 
-    worker, chunk = payload
+    worker, chunk, index, attempt, fault = payload
+    if fault is not None:
+        fault(index, attempt)
     before = REGISTRY.snapshot()
     results = [worker(item) for item in chunk]
     return results, snapshot_delta(REGISTRY.snapshot(), before)
@@ -80,6 +103,8 @@ def parallel_map(
     jobs: int = 1,
     chunk_size: Optional[int] = None,
     merge_metrics: bool = False,
+    max_chunk_retries: int = 2,
+    chunk_fault=None,
 ) -> list[R]:
     """``[worker(x) for x in items]``, optionally sharded across processes.
 
@@ -88,15 +113,25 @@ def parallel_map(
     split into contiguous chunks (default: ~4 chunks per worker, so a
     slow chunk can't straggle the whole run), each chunk is one
     :class:`~concurrent.futures.ProcessPoolExecutor` task, and results
-    are merged back in submission order.  ``worker`` must be a
-    top-level function; items and results must pickle.
+    are merged back in chunk order.  ``worker`` must be a top-level
+    function; items and results must pickle.
 
     ``merge_metrics=True`` additionally folds each worker chunk's
     :data:`repro.obs.metrics.REGISTRY` activity into the parent
-    process's registry, merged in submission order — counter and
-    histogram totals come out identical to the serial run's (sums
-    commute; gauges merge by ``max``).  On the serial path the worker
-    already writes to the parent registry, so the flag is a no-op.
+    process's registry, merged in chunk order — counter and histogram
+    totals come out identical to the serial run's (sums commute;
+    gauges merge by ``max``).  On the serial path the worker already
+    writes to the parent registry, so the flag is a no-op.
+
+    A chunk whose worker process *dies* (``BrokenProcessPool``) is
+    resubmitted to a fresh pool up to ``max_chunk_retries`` times, then
+    falls back to running serially in the parent — the merged output is
+    byte-identical to the serial path either way.  Retries and
+    fallbacks bump the ``robustness.parallel.*`` metrics counters.
+    ``chunk_fault`` (a picklable ``fault(chunk_index, attempt)``
+    callable, e.g. :class:`~repro.robustness.faults.WorkerCrash`) runs
+    in the worker before each chunk — the chaos hook that makes crash
+    recovery testable.  The parent's serial fallback never invokes it.
     """
     work = list(items)
     if jobs <= 1 or len(work) <= 1:
@@ -104,20 +139,57 @@ def parallel_map(
     if chunk_size is None:
         chunk_size = max(1, -(-len(work) // (jobs * 4)))
     chunks = list(chunked(work, chunk_size))
-    merged: list[R] = []
+    n = len(chunks)
     apply = _apply_chunk_traced if merge_metrics else _apply_chunk
-    with ProcessPoolExecutor(max_workers=min(jobs, len(chunks))) as pool:
-        futures = [
-            pool.submit(apply, (worker, chunk)) for chunk in chunks
-        ]
-        if merge_metrics:
-            from ..obs.metrics import REGISTRY
+    results: list = [None] * n
+    deltas: list = [None] * n
+    attempts = [0] * n
+    pending = list(range(n))
+    while pending:
+        crashed: list[int] = []
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures: list[tuple[int, object]] = []
+            for i in pending:
+                payload = (worker, chunks[i], i, attempts[i], chunk_fault)
+                try:
+                    futures.append((i, pool.submit(apply, payload)))
+                except BrokenProcessPool:
+                    # A worker died before this chunk even went out.
+                    crashed.append(i)
+            for i, future in futures:  # submission order == chunk order
+                try:
+                    out = future.result()
+                except BrokenProcessPool:
+                    # The pool is dead; chunks already collected above
+                    # are safe, this one (and likely the rest) retry.
+                    crashed.append(i)
+                    continue
+                if merge_metrics:
+                    results[i], deltas[i] = out
+                else:
+                    results[i] = out
+        if not crashed:
+            break
+        from ..obs.metrics import counter
 
-            for future in futures:  # submission order == input order
-                results, delta = future.result()
-                merged.extend(results)
+        pending = []
+        for i in sorted(crashed):
+            attempts[i] += 1
+            if attempts[i] <= max_chunk_retries:
+                counter("robustness.parallel.chunk_retries")
+                pending.append(i)
+            else:
+                # Bounded retries exhausted: compute the chunk serially
+                # in the parent (no chunk_fault — the parent must
+                # survive), so the merged output is still exactly the
+                # serial path's.  Parent-side metrics write straight to
+                # the live registry; no delta to merge.
+                counter("robustness.parallel.serial_fallbacks")
+                results[i] = [worker(item) for item in chunks[i]]
+    if merge_metrics:
+        from ..obs.metrics import REGISTRY
+
+        for delta in deltas:  # chunk order — deterministic merge
+            if delta is not None:
                 REGISTRY.merge(delta)
-        else:
-            for future in futures:
-                merged.extend(future.result())
-    return merged
+    return [r for chunk_results in results for r in chunk_results]

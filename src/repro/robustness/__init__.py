@@ -1,0 +1,27 @@
+"""Fault injection and graceful degradation.
+
+``faults`` supplies the deterministic adversary (seeded fault plans,
+the injector threaded through the executors / plan cache / parallel
+harness); ``chaos`` runs the differential fuzz matrix under injected
+faults and asserts the engine degrades instead of diverging.  See
+``docs/ROBUSTNESS.md``.
+"""
+
+from .chaos import ChaosReport, run_chaos
+from .faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    InjectedFault,
+    WorkerCrash,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "ChaosReport",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "WorkerCrash",
+    "run_chaos",
+]

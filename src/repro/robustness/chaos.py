@@ -1,0 +1,265 @@
+"""Chaos harness: the differential fuzz matrix under injected faults.
+
+Each seed builds a live :class:`~repro.engine.database.Database`,
+draws per-site fault rates from its seeded rng, attaches a
+:class:`~repro.robustness.faults.FaultInjector`, and runs random plans
+through every executor mode — stream, batch, compiled, auto, warm-cache
+repeats, and post-mutation re-runs.  The oracle is the reference
+interpreter, which sits outside the fault surface (no cache, no
+compiler, no injection hooks), so its answer is always the fault-free
+truth.  Two invariants, checked per execution:
+
+* **zero semantic divergences** — whatever faults fired, the answer the
+  engine returns (possibly after degrading down the executor chain)
+  has the reference's exact value, work, and per-node ledger;
+* **zero unhandled escapes** — no injected fault propagates out of
+  ``Database.run``; the degradation chain absorbs every one.
+
+Every ``crash_every`` seeds the harness also runs a worker-crash
+scenario: :func:`~repro.parallel.parallel_map` under a seeded
+:class:`~repro.robustness.faults.WorkerCrash` hook, asserting the
+merged output is byte-identical to the serial path both through the
+bounded retry and through the in-parent serial fallback.
+
+Determinism: everything — database contents, plans, fault rates, which
+draws fire — derives from ``(base_seed, seed)``, so a chaos failure
+always reproduces under the same arguments.
+
+CLI: ``python -m repro chaos --seeds N`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engine.database import Database
+from ..engine.workload import derive_rng, random_database, random_plan
+from ..obs.metrics import REGISTRY
+from ..parallel import parallel_map
+from .faults import FaultInjector, FaultPlan, WorkerCrash
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+_NAMES = ("r", "s", "t")
+_MODES = ("stream", "batch", "compiled", "auto")
+
+#: Per-site rate menu each seed draws from.  Zero keeps the disabled
+#: path honest; 1.0 forces full-chain degradation down to the
+#: reference; the middle rates exercise partial fallbacks and
+#: corruption-amid-hits.
+_RATES = (0.0, 0.1, 0.35, 1.0)
+
+
+@dataclass(frozen=True)
+class ChaosFailure:
+    """One broken invariant: a semantic divergence or an escape."""
+
+    seed: int
+    kind: str  # "divergence" | "escape"
+    mode: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"seed={self.seed} mode={self.mode} [{self.kind}]: {self.detail}"
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos run."""
+
+    seeds: int = 0
+    checks: int = 0
+    injected: dict = field(default_factory=dict)
+    degradations: int = 0
+    corruptions_caught: int = 0
+    crash_scenarios: int = 0
+    divergences: list = field(default_factory=list)
+    escapes: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.escapes
+
+    def summary(self) -> str:
+        fired = ", ".join(
+            f"{site}={count}" for site, count in sorted(self.injected.items())
+        ) or "none"
+        lines = [
+            f"chaos: {self.seeds} seeds, {self.checks} checks, "
+            f"{self.crash_scenarios} worker-crash scenarios",
+            f"  faults injected: {fired}",
+            f"  degradations: {self.degradations}, "
+            f"cache corruptions caught: {self.corruptions_caught}",
+        ]
+        if self.ok:
+            lines.append("  zero semantic divergences, zero escapes")
+        else:
+            failures = self.divergences + self.escapes
+            lines.append(
+                f"  {len(self.divergences)} DIVERGENCE(S), "
+                f"{len(self.escapes)} ESCAPE(S):"
+            )
+            for f in failures[:20]:
+                lines.append(f"    {f}")
+            if len(failures) > 20:
+                lines.append(f"    ... and {len(failures) - 20} more")
+        return "\n".join(lines)
+
+
+def _mismatch(got, want) -> str | None:
+    if got.value != want.value:
+        return (
+            f"value mismatch: engine {len(got.value)} rows, "
+            f"reference {len(want.value)} rows"
+        )
+    if got.work != want.work:
+        return f"work mismatch: engine {got.work}, reference {want.work}"
+    if got.per_node != want.per_node:
+        return (
+            f"ledger mismatch: engine {len(got.per_node)} entries, "
+            f"reference {len(want.per_node)}"
+        )
+    return None
+
+
+def _build_database(rng) -> Database:
+    """A populated Database (not a bare mapping — chaos must exercise
+    the cache, the stats memos, and the degradation path in ``run``)."""
+    db = Database(cache_capacity=32)
+    contents = random_database(rng, _NAMES)
+    for name in _NAMES:
+        db.create(name, 2)
+        db.insert(name, [tuple(t) for t in contents[name]])
+    return db
+
+
+def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
+    rng = derive_rng("chaos", base_seed, seed)
+    db = _build_database(rng)
+    plans = [
+        random_plan(rng, _NAMES, depth=rng.randint(2, 4))
+        for _ in range(rng.randint(1, 3))
+    ]
+    fault_plan = FaultPlan(
+        seed=derive_rng("chaos-rates", base_seed, seed).randrange(2**31),
+        operator_rate=rng.choice(_RATES),
+        cache_rate=rng.choice(_RATES),
+        compile_rate=rng.choice(_RATES),
+    )
+    injector = FaultInjector(fault_plan)
+
+    def check(plan, mode: str, use_cache: bool) -> None:
+        # The oracle runs with injection detached; run_reference never
+        # touches the cache or the injector, but detaching makes the
+        # fault-free contract explicit and keeps draw sequences tied to
+        # engine executions only.
+        db.fault_injector = None
+        want = db.run_reference(plan)
+        db.fault_injector = injector
+        report.checks += 1
+        try:
+            got = db.run(plan, mode=mode, use_cache=use_cache)
+        except Exception as exc:  # noqa: BLE001 — escapes are the finding
+            report.escapes.append(
+                ChaosFailure(
+                    seed, "escape", mode, f"{type(exc).__name__}: {exc}"
+                )
+            )
+            return
+        detail = _mismatch(got, want)
+        if detail is not None:
+            report.divergences.append(
+                ChaosFailure(seed, "divergence", mode, detail)
+            )
+
+    for plan in plans:
+        for mode in _MODES:
+            check(plan, mode, use_cache=False)
+        # Warm path: first run populates, second must revalidate any
+        # tampered entry instead of serving it.
+        check(plan, "stream", use_cache=True)
+        check(plan, rng.choice(_MODES), use_cache=True)
+
+    # Mutate and re-check: invalidation + degradation interplay.
+    mutated = rng.choice(_NAMES)
+    db.fault_injector = None
+    db.insert(
+        mutated,
+        [(rng.randrange(6), rng.randrange(6)) for _ in range(rng.randint(1, 3))],
+    )
+    for plan in plans[:1]:
+        check(plan, rng.choice(_MODES), use_cache=True)
+
+    report.corruptions_caught += db.plan_cache.corruptions
+    for site, count in injector.injected.items():
+        report.injected[site] = report.injected.get(site, 0) + count
+
+
+def _square_shift(x: int) -> int:
+    """Top-level (picklable) worker for the crash scenario."""
+    return x * x + 7
+
+
+def _check_worker_crash(
+    report: ChaosReport, base_seed: int, seed: int
+) -> None:
+    rng = derive_rng("chaos-crash", base_seed, seed)
+    items = list(range(rng.randint(12, 30)))
+    serial = [_square_shift(x) for x in items]
+    crash_seed = rng.randrange(2**31)
+    report.crash_scenarios += 1
+    # Recoverable: each crashing chunk dies on its first attempt only.
+    report.checks += 1
+    recovered = parallel_map(
+        _square_shift,
+        items,
+        jobs=2,
+        chunk_size=4,
+        chunk_fault=WorkerCrash(seed=crash_seed, rate=0.5, crash_attempts=1),
+    )
+    if recovered != serial:
+        report.divergences.append(
+            ChaosFailure(
+                seed, "divergence", "parallel",
+                "crash-retry merge differs from serial output",
+            )
+        )
+    # Unrecoverable in-pool: forces the in-parent serial fallback.
+    report.checks += 1
+    fallback = parallel_map(
+        _square_shift,
+        items,
+        jobs=2,
+        chunk_size=4,
+        max_chunk_retries=1,
+        chunk_fault=WorkerCrash(seed=crash_seed, rate=0.5, crash_attempts=9),
+    )
+    if fallback != serial:
+        report.divergences.append(
+            ChaosFailure(
+                seed, "divergence", "parallel",
+                "serial-fallback merge differs from serial output",
+            )
+        )
+
+
+def run_chaos(
+    seeds: int = 50, *, base_seed: int = 0, crash_every: int = 25
+) -> ChaosReport:
+    """Run the chaos matrix over ``seeds`` seeds; see the module doc.
+
+    ``crash_every <= 0`` disables the worker-crash scenarios (they
+    spawn process pools, so e.g. doctest environments may want them
+    off).
+    """
+    report = ChaosReport(seeds=seeds)
+    before = REGISTRY.snapshot().get("counters", {})
+    for seed in range(seeds):
+        _check_seed(report, base_seed, seed)
+        if crash_every > 0 and seed % crash_every == crash_every - 1:
+            _check_worker_crash(report, base_seed, seed)
+    after = REGISTRY.snapshot().get("counters", {})
+    report.degradations = after.get("robustness.degraded", 0) - before.get(
+        "robustness.degraded", 0
+    )
+    return report

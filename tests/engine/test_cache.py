@@ -116,6 +116,7 @@ class TestStats:
             "puts": 1,
             "evictions": 0,
             "invalidations": 0,
+            "corruptions": 0,
             "entries": 1,
             "capacity": 256,
         }

@@ -154,3 +154,137 @@ class TestIndexScoping:
         db._eq_indexes["log"] = Poison()
         db.insert("people", [(4, "dan")])  # must not touch log's indexes
         assert tup(4, "dan") in db["people"]
+
+
+class TestWidthSeeding:
+    """Width caching must survive the empty-relation window (the
+    ``_widths[name] = None`` poisoning regression)."""
+
+    def test_create_seeds_width_with_declared_arity(self):
+        d = Database()
+        d.create("r", 3)
+        assert d.relation_width("r") == 3
+
+    def test_width_queried_while_empty_not_poisoned_by_insert(self):
+        d = Database()
+        d.create("r", 2)
+        # Query the width during the empty window; then populate.
+        assert d.relation_width("r") == 2
+        d.insert("r", [(1, 2), (3, 4)])
+        assert d.relation_width("r") == 2  # regression: was None forever
+
+    def test_width_after_empty_wholesale_replacement(self):
+        d = Database()
+        d.create("r", 2)
+        d["r"] = CVSet()  # drops the seeded width
+        assert d.relation_width("r") is None  # measured while empty
+        d.insert("r", [(5, 6)])
+        assert d.relation_width("r") == 2  # un-poisoned by the insert
+
+    def test_genuinely_mixed_width_still_none(self):
+        d = Database()
+        d.create("r", 2)
+        d["r"] = cvset(tup(1, 2, 3))  # arity-3 rows smuggled in
+        assert d.relation_width("r") == 3
+        d.insert("r", [(7, 8)])  # arity-2 per the declared schema
+        assert d.relation_width("r") is None  # now truly mixed
+
+    def test_batch_weight_accounting_uses_seeded_width(self):
+        d = Database()
+        d.create("r", 2)
+        assert d.relation_width("r") == 2
+        d.insert("r", [(1, 2), (2, 3)])
+        assert d.relation_stats("r") == (4, 2)
+
+
+class TestUnknownRelationIndexProbe:
+    """``equality_index`` on an unknown name must not cache a
+    stale-empty index (the create-after-probe regression)."""
+
+    def test_probe_before_create_returns_empty_uncached(self):
+        d = Database()
+        index = d.equality_index("ghost", (0,))
+        assert index == {}
+        assert "ghost" not in d._eq_indexes
+
+    def test_create_after_probe_sees_fresh_rows(self):
+        d = Database()
+        d.equality_index("late", (0,))  # probe while unknown
+        d.create("late", 2)
+        d.insert("late", [(1, "a"), (2, "b")])
+        assert set(d.equality_index("late", (0,))) == {(1,), (2,)}
+
+    def test_stale_empty_index_no_longer_possible_via_direct_assignment(self):
+        d = Database()
+        d.equality_index("late", (0,))
+        # Even a raw relations-dict write (bypassing __setitem__'s
+        # invalidation) can't be shadowed by a pre-create cached index.
+        d.relations["late"] = cvset(tup(1, "a"))
+        assert set(d.equality_index("late", (0,))) == {(1,)}
+
+    def test_probe_does_not_grow_index_table(self):
+        d = Database()
+        for i in range(50):
+            d.equality_index(f"ghost{i}", (0,))
+        assert d._eq_indexes == {}
+
+
+class TestWholesaleReplacement:
+    """``db[name] = ...`` must drop every memo keyed on the relation:
+    stats, mode decisions, widths, distincts, compiled artifacts."""
+
+    def _plan(self):
+        return Project((0,), Scan("people"))
+
+    def test_stats_memo_invalidated(self, db):
+        first = db.current_stats()
+        assert db.current_stats() is first  # memoized within generation
+        db["people"] = cvset(tup(9, "zoe"))
+        second = db.current_stats()
+        assert second is not first
+        assert second.rows["people"] == 1
+
+    def test_mode_memo_invalidated(self, db):
+        plan = self._plan()
+        decision = db.plan_mode(plan)
+        assert db.plan_mode(plan) is decision  # memoized within generation
+        db["people"] = cvset(tup(9, "zoe"))
+        assert db.plan_mode(plan) is not decision
+
+    def test_widths_recomputed_from_new_contents(self, db):
+        assert db.relation_width("people") == 2
+        db["people"] = cvset(tup(1, 2, 3))
+        assert db.relation_width("people") == 3
+
+    def test_distincts_recomputed(self, db):
+        assert db.column_distincts("people") == {0: 2, 1: 2}
+        db["people"] = cvset(tup(1, "x"), tup(1, "y"))
+        assert db.column_distincts("people") == {0: 1, 1: 2}
+
+    def test_result_cache_invalidated_across_generations(self, db):
+        plan = self._plan()
+        first = db.run(plan)
+        db["people"] = cvset(tup(9, "zoe"))
+        second = db.run(plan)
+        assert second.value == cvset(tup(9))
+        assert second.value != first.value
+
+    def test_compiled_artifact_invalidated(self, db):
+        plan = self._plan()
+        db.run(plan, mode="compiled", use_cache=False)
+        puts_before = db.plan_cache.compiled_puts
+        assert puts_before >= 1
+        db.run(plan, mode="compiled", use_cache=False)
+        assert db.plan_cache.compiled_puts == puts_before  # artifact hit
+        db["people"] = cvset(tup(9, "zoe"))
+        result = db.run(plan, mode="compiled", use_cache=False)
+        # Replacement dropped the artifact: a fresh compile happened,
+        # and the recompiled program reads the new contents.
+        assert db.plan_cache.compiled_puts == puts_before + 1
+        assert result.value == cvset(tup(9))
+
+    def test_generation_bumped_per_replacement(self, db):
+        generation = db._generation
+        db["people"] = cvset(tup(9, "zoe"))
+        db["people"] = cvset(tup(8, "amy"))
+        assert db._generation == generation + 2

@@ -322,10 +322,18 @@ class TestSemanticCacheKeys:
         replacement = CacheEntry(cvset(tup(9)), 9, (("k1", 9),),
                                  frozenset({"k1"}))
         cache.put("k1", replacement)  # refresh: newest value, MRU position
+
+        def is_refreshed(stored):
+            # ``put`` stamps a content seal, so the stored entry is a
+            # sealed copy of the replacement, not the same object.
+            return stored is not None and (
+                stored.value, stored.work, stored.entries
+            ) == (replacement.value, replacement.work, replacement.entries)
+
         assert len(cache) == 2
-        assert cache.get("k1") is replacement
+        assert is_refreshed(cache.get("k1"))
         cache.put("k3", entries["k3"])  # evicts k2, not the refreshed k1
-        assert cache.get("k1") is replacement
+        assert is_refreshed(cache.get("k1"))
         assert cache.get("k2") is None
 
     def test_zero_capacity_disables_caching_without_churn(self):

@@ -31,7 +31,7 @@ from repro.engine.workload import (
     random_plan,
 )
 from repro.obs import Span, Tracer
-from repro.optimizer.plan import Join, Scan, execute_reference
+from repro.optimizer.plan import Join, Project, Scan, execute_reference
 
 _NAMES = ("r", "s", "t")
 
@@ -227,3 +227,56 @@ class TestAnnotations:
         tracer.clear()
         assert tracer.last is None
         assert "0" in repr(tracer)
+
+
+class TestMetaMerge:
+    """Root-span ``meta`` is shared by several layers (auto-mode
+    decision, degradation record); ``merge_meta`` must preserve what an
+    earlier layer attached."""
+
+    def test_merge_into_empty_meta_copies(self):
+        span = Span("root")
+        updates = {"auto": {"mode": "batch"}}
+        span.merge_meta(updates)
+        assert span.meta == updates
+        assert span.meta is not updates  # defensive copy
+
+    def test_merge_preserves_existing_keys(self):
+        span = Span("root")
+        span.merge_meta({"auto": {"mode": "compiled"}})
+        span.merge_meta({"degraded": [{"mode": "compiled", "to": "batch"}]})
+        assert span.meta == {
+            "auto": {"mode": "compiled"},
+            "degraded": [{"mode": "compiled", "to": "batch"}],
+        }
+
+    def test_merge_overwrites_only_named_keys(self):
+        span = Span("root")
+        span.merge_meta({"a": 1, "b": 2})
+        span.merge_meta({"b": 3})
+        assert span.meta == {"a": 1, "b": 3}
+
+    def test_run_auto_under_faults_keeps_decision_and_degradations(self):
+        """End-to-end regression for the meta-clobber bug: an auto run
+        that degrades must surface both records in ``to_dict``."""
+        from repro.engine.database import Database
+        from repro.robustness import FaultInjector, FaultPlan
+
+        db = Database()
+        db.create("r", 2)
+        db.insert("r", [(i, i + 1) for i in range(120)])
+        db.create("s", 2)
+        db.insert("s", [(i, i * 10) for i in range(0, 240, 2)])
+        plan = Project(
+            columns=(0, 2),
+            child=Join(left=Scan("r"), right=Scan("s"), on=((1, 0),)),
+        )
+        assert db.plan_mode(plan).mode != "reference"
+        db.fault_injector = FaultInjector(
+            FaultPlan(seed=13, operator_rate=1.0, compile_rate=1.0)
+        )
+        tracer = Tracer()
+        db.run(plan, mode="auto", use_cache=False, tracer=tracer)
+        meta = tracer.last.to_dict(wall=False)["meta"]
+        assert set(meta) >= {"auto", "degraded"}
+        assert meta["degraded"][-1]["to"] == "reference"

@@ -53,6 +53,72 @@ class TestParallelMap:
             list(chunked(items, 0))
 
 
+class TestCrashRecovery:
+    def test_retry_recovers_first_attempt_crashes(self):
+        from repro.robustness import WorkerCrash
+
+        items = list(range(20))
+        got = parallel_map(
+            _square,
+            items,
+            jobs=2,
+            chunk_size=3,
+            chunk_fault=WorkerCrash(seed=7, rate=0.5, crash_attempts=1),
+        )
+        assert got == [x * x for x in items]
+
+    def test_exhausted_retries_fall_back_to_parent_serial(self):
+        from repro.robustness import WorkerCrash
+
+        items = list(range(20))
+        got = parallel_map(
+            _square,
+            items,
+            jobs=2,
+            chunk_size=3,
+            max_chunk_retries=1,
+            chunk_fault=WorkerCrash(seed=7, rate=0.6, crash_attempts=99),
+        )
+        assert got == [x * x for x in items]
+
+    def test_crash_recovery_bumps_metrics(self):
+        from repro.obs.metrics import REGISTRY
+        from repro.robustness import WorkerCrash
+
+        before = dict(REGISTRY.snapshot().get("counters", {}))
+        parallel_map(
+            _square,
+            list(range(16)),
+            jobs=2,
+            chunk_size=2,
+            chunk_fault=WorkerCrash(seed=5, rate=1.0, crash_attempts=1),
+        )
+        after = dict(REGISTRY.snapshot().get("counters", {}))
+        key = "robustness.parallel.chunk_retries"
+        assert after.get(key, 0) > before.get(key, 0)
+
+    def test_real_worker_exception_still_propagates(self):
+        # Exceptions are serial semantics, not crashes: no retry.
+        with pytest.raises(ZeroDivisionError):
+            parallel_map(_reciprocal, [2, 1, 0, 4], jobs=2, chunk_size=1)
+
+    def test_serial_path_ignores_chunk_fault(self):
+        from repro.robustness import WorkerCrash
+
+        items = list(range(6))
+        got = parallel_map(
+            _square,
+            items,
+            jobs=1,
+            chunk_fault=WorkerCrash(seed=1, rate=1.0, crash_attempts=99),
+        )
+        assert got == [x * x for x in items]
+
+
+def _reciprocal(x):
+    return 1 / x
+
+
 class TestFuzzSharding:
     def test_jobs_report_identical_to_serial(self):
         serial = run_fuzz(8, base_seed=5)
