@@ -83,6 +83,11 @@ class Database:
         self._widths: dict[str, Optional[int]] = {}
         #: ``name -> {column -> distinct count}`` for the cost model.
         self._distincts: dict[str, dict[int, int]] = {}
+        #: Backing value sets for ``_distincts`` (``name -> {column ->
+        #: set of values}``), maintained incrementally on insert so a
+        #: write updates distinct counts in O(batch) instead of
+        #: discarding them; dropped on wholesale replacement.
+        self._distinct_sets: dict[str, dict[int, set]] = {}
         #: Bumped on every mutation; keys the stats/mode-decision memos
         #: below, so a stale catalog can never drive a mode choice.
         self._generation = 0
@@ -166,9 +171,27 @@ class Database:
             # widthless forever).  Otherwise a differing cached width
             # means the relation is genuinely mixed-width.
             self._widths[name] = info.arity if not current else None
-        self._distincts.pop(name, None)
+        sets = self._distinct_sets.get(name)
+        if sets is not None:
+            for t in new_rows:
+                try:
+                    items = tuple(t)
+                except TypeError:
+                    continue
+                for i, v in enumerate(items):
+                    sets.setdefault(i, set()).add(v)
+            self._distincts[name] = {
+                i: len(vals) for i, vals in sets.items()
+            }
+        else:
+            self._distincts.pop(name, None)
         self._generation += 1
-        self.plan_cache.invalidate(name)
+        self._refresh_stats_memo(name)
+        # Semi-naive maintenance instead of wholesale invalidation:
+        # maintainable cached entries absorb the delta and stay live;
+        # the rest (and all compiled artifacts for this relation)
+        # invalidate exactly as before.  See engine/exec/delta.py.
+        self.plan_cache.maintain(name, new_rows, self.relations)
 
     def _validate_key_batch(
         self, name: str, key: Sequence[int], tuples: Sequence[Tup]
@@ -271,7 +294,11 @@ class Database:
 
     def column_distincts(self, name: str) -> dict[int, int]:
         """Cached per-column distinct value counts of one relation
-        (atom elements contribute nothing — they have no columns)."""
+        (atom elements contribute nothing — they have no columns).
+
+        The first call walks the relation once; the backing value sets
+        are kept (``_distinct_sets``) so later inserts refresh the
+        counts in O(batch) instead of discarding them."""
         cached = self._distincts.get(name)
         if cached is None:
             columns: dict[int, set] = {}
@@ -283,12 +310,18 @@ class Database:
                 for i, v in enumerate(items):
                     columns.setdefault(i, set()).add(v)
             cached = {i: len(vals) for i, vals in columns.items()}
+            self._distinct_sets[name] = columns
             self._distincts[name] = cached
         return cached
 
     def current_stats(self):
         """A :class:`~repro.optimizer.cost.Stats` catalog reflecting the
-        live contents, memoized per mutation generation."""
+        live contents, memoized per mutation generation.
+
+        Inserts refresh the memo *incrementally* (see
+        :meth:`_refresh_stats_memo`): the full ``Stats.from_database``
+        pass runs at most once per wholesale replacement, not once per
+        write."""
         memo = self._stats_memo
         if memo is not None and memo[0] == self._generation:
             return memo[1]
@@ -297,6 +330,39 @@ class Database:
         stats = Stats.from_database(self)
         self._stats_memo = (self._generation, stats)
         return stats
+
+    def _refresh_stats_memo(self, name: str) -> None:
+        """Re-memoize :meth:`current_stats` after an insert into
+        ``name`` by updating that one relation's row count, width and
+        distincts in a shallow copy of the memoized catalog — O(1)
+        plus the (incrementally maintained) distincts lookup, instead
+        of a full ``Stats.from_database`` pass over every relation.
+
+        A cold memo stays cold: stats are only assembled when a
+        cost-based decision first asks for them."""
+        memo = self._stats_memo
+        if memo is None:
+            return
+        from ..optimizer.cost import Stats
+
+        old = memo[1]
+        rows = dict(old.rows)
+        widths = dict(old.widths)
+        distincts = dict(old.distincts)
+        relation = self.relations.get(name, _EMPTY)
+        rows[name] = len(relation)
+        width = self.relation_width(name)
+        if width is None:
+            width = max(
+                (len(t) for t in relation if hasattr(t, "__len__")),
+                default=1,
+            )
+        widths[name] = max(width, 1)
+        distincts[name] = self.column_distincts(name)
+        self._stats_memo = (
+            self._generation,
+            Stats(rows, widths, distincts),
+        )
 
     def plan_mode(self, plan: Plan):
         """The cost model's executor choice for ``plan`` (a
@@ -342,6 +408,7 @@ class Database:
         self._weights.pop(name, None)
         self._widths.pop(name, None)
         self._distincts.pop(name, None)
+        self._distinct_sets.pop(name, None)
         self._eq_indexes.pop(name, None)
         self._generation += 1
         self.plan_cache.invalidate(name)

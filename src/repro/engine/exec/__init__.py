@@ -10,6 +10,13 @@ maps onto the Section 4.4 cost model.
 from .batch import execute_batch
 from .cache import CacheEntry, CacheInvariantError, PlanCache, entry_seal
 from .compile import CompiledPlan, compile_plan, execute_compiled, plan_depth
+from .delta import (
+    DeltaError,
+    MaintainabilityReport,
+    MaintainedView,
+    analyze_plan as analyze_maintainability,
+    classify as classify_maintainability,
+)
 from .executor import MAX_PIPELINE_DEPTH, execute_streaming, subtree_counts
 from .fingerprint import (
     annotate_plan,
@@ -43,4 +50,9 @@ __all__ = [
     "Frame",
     "collect_frame",
     "node_label",
+    "DeltaError",
+    "MaintainabilityReport",
+    "MaintainedView",
+    "analyze_maintainability",
+    "classify_maintainability",
 ]

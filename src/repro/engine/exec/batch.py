@@ -317,7 +317,7 @@ def execute_batch(
             )
             memo[token] = entry
             if cache is not None:
-                cache.put(entry_key(node), entry)
+                cache.put(entry_key(node), entry, plan=node)
             result = value.frozen()
         out.append(_Slot(result, None, width))
 
@@ -339,6 +339,7 @@ def execute_batch(
         cache.put(
             entry_key(plan),
             CacheEntry(value, work_total, tuple(log), info[id(plan)][1]),
+            plan=plan,
         )
     return ExecutionResult(value=value, work=work_total, per_node=log)
 

@@ -741,9 +741,13 @@ def execute_compiled(
                 ),
             )
         if not isinstance(plan, Scan):
+            # ``plan=`` registers the root entry for delta maintenance;
+            # the CSE segment entries above have no plan node handy, so
+            # they stay invalidate-only.
             cache.put(
                 semantic_cache_key(token, relations, db),
                 CacheEntry(value, work_total, tuple(log), relations),
+                plan=plan,
             )
 
     if tracer is not None:

@@ -433,7 +433,7 @@ def execute_streaming(
             )
             memo[token] = entry
             if cache is not None:
-                cache.put(entry_key(node), entry)
+                cache.put(entry_key(node), entry, plan=node)
             out.append((iter(value), 1))
         else:
             if spans is not None and not top:
@@ -462,6 +462,7 @@ def execute_streaming(
         cache.put(
             entry_key(plan),
             CacheEntry(value, work, tuple(entries), info[id(plan)][1]),
+            plan=plan,
         )
     if tracer is not None:
         tracer.record(_finish_spans(root_frame, spans))

@@ -117,6 +117,21 @@ class ExplainReport:
                 f" misses={self.cache_stats['misses']}"
                 f" puts={self.cache_stats['puts']}]"
             )
+            maintained = self.cache_stats.get("maintained", 0)
+            fallback = self.cache_stats.get("maintain_fallback", 0)
+            if maintained or fallback:
+                # Entries this query found alive because inserts since
+                # the last run were absorbed by delta maintenance
+                # (see docs/EXECUTION.md, "Incremental maintenance").
+                header += (
+                    f"\nmaintained: {maintained} entr"
+                    f"{'y' if maintained == 1 else 'ies'} patched in "
+                    f"place by delta maintenance"
+                )
+                if fallback:
+                    header += (
+                        f" ({fallback} fell back to invalidation)"
+                    )
         if self.decision is not None:
             scores = " ".join(
                 f"{m}={s:g}"
@@ -216,6 +231,11 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
             for key in ("hits", "misses", "puts", "evictions")
         }
         cache_stats["entries"] = after["entries"]
+        # Cumulative, not a delta: maintenance runs inside
+        # ``Database.insert``, between queries — the totals say how
+        # many cached entries survived writes via delta patching.
+        cache_stats["maintained"] = after["maintained"]
+        cache_stats["maintain_fallback"] = after["maintain_fallback"]
     return ExplainReport(
         mode=mode,
         plan=str(plan),

@@ -72,6 +72,7 @@ class ChaosReport:
     injected: dict = field(default_factory=dict)
     degradations: int = 0
     corruptions_caught: int = 0
+    maintenance_fallbacks: int = 0
     crash_scenarios: int = 0
     divergences: list = field(default_factory=list)
     escapes: list = field(default_factory=list)
@@ -89,7 +90,8 @@ class ChaosReport:
             f"{self.crash_scenarios} worker-crash scenarios",
             f"  faults injected: {fired}",
             f"  degradations: {self.degradations}, "
-            f"cache corruptions caught: {self.corruptions_caught}",
+            f"cache corruptions caught: {self.corruptions_caught}, "
+            f"maintenance fallbacks: {self.maintenance_fallbacks}",
         ]
         if self.ok:
             lines.append("  zero semantic divergences, zero escapes")
@@ -145,6 +147,7 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
         operator_rate=rng.choice(_RATES),
         cache_rate=rng.choice(_RATES),
         compile_rate=rng.choice(_RATES),
+        maintenance_rate=rng.choice(_RATES),
     )
     injector = FaultInjector(fault_plan)
 
@@ -180,14 +183,28 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
         check(plan, "stream", use_cache=True)
         check(plan, rng.choice(_MODES), use_cache=True)
 
-    # Mutate and re-check: invalidation + degradation interplay.
+    # Mutate and re-check: delta maintenance + degradation interplay.
+    # The injector stays attached through the insert, so the
+    # ``maintenance`` site fires *inside* ``PlanCache.maintain`` —
+    # which must degrade to invalidate-then-recompute, never serve a
+    # half-patched entry or let the fault escape ``insert``.
     mutated = rng.choice(_NAMES)
-    db.fault_injector = None
-    db.insert(
-        mutated,
-        [(rng.randrange(6), rng.randrange(6)) for _ in range(rng.randint(1, 3))],
-    )
+    db.fault_injector = injector
+    report.checks += 1
+    try:
+        db.insert(
+            mutated,
+            [(rng.randrange(6), rng.randrange(6))
+             for _ in range(rng.randint(1, 3))],
+        )
+    except Exception as exc:  # noqa: BLE001 — escapes are the finding
+        report.escapes.append(
+            ChaosFailure(
+                seed, "escape", "maintain", f"{type(exc).__name__}: {exc}"
+            )
+        )
     for plan in plans[:1]:
+        check(plan, "stream", use_cache=True)
         check(plan, rng.choice(_MODES), use_cache=True)
 
     report.corruptions_caught += db.plan_cache.corruptions
@@ -262,4 +279,7 @@ def run_chaos(
     report.degradations = after.get("robustness.degraded", 0) - before.get(
         "robustness.degraded", 0
     )
+    report.maintenance_fallbacks = after.get(
+        "robustness.maintenance.fallback", 0
+    ) - before.get("robustness.maintenance.fallback", 0)
     return report

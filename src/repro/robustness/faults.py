@@ -17,7 +17,11 @@ parallel harness via optional hooks.  Four fault sites:
 * ``"worker"`` — a parallel worker process dies hard
   (:class:`WorkerCrash` is the picklable ``chunk_fault`` hook for
   :func:`repro.parallel.parallel_map`; it kills the process with
-  ``os._exit``, producing a real ``BrokenProcessPool``).
+  ``os._exit``, producing a real ``BrokenProcessPool``);
+* ``"maintenance"`` — semi-naive delta maintenance of a cached entry
+  fails mid-patch (drawn once per maintainable entry inside
+  ``PlanCache.maintain``); the cache must degrade to
+  invalidate-then-recompute, never serve a half-patched entry.
 
 Determinism: every draw comes from one ``random.Random`` seeded from
 the plan, in execution order.  Executor traversal order is itself
@@ -47,7 +51,7 @@ __all__ = [
 ]
 
 #: Fault sites an injector understands, in documentation order.
-FAULT_SITES = ("operator", "cache", "compile", "worker")
+FAULT_SITES = ("operator", "cache", "compile", "worker", "maintenance")
 
 
 class InjectedFault(RuntimeError):
@@ -83,6 +87,7 @@ class FaultPlan:
     cache_rate: float = 0.0
     compile_rate: float = 0.0
     worker_rate: float = 0.0
+    maintenance_rate: float = 0.0
 
     def rate_for(self, site: str) -> float:
         if site not in FAULT_SITES:

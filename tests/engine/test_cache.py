@@ -117,6 +117,8 @@ class TestStats:
             "evictions": 0,
             "invalidations": 0,
             "corruptions": 0,
+            "maintained": 0,
+            "maintain_fallback": 0,
             "entries": 1,
             "capacity": 256,
         }
