@@ -186,7 +186,9 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     for _ in range(args.warm):
         db.run(plan)
     modes = MODES if args.mode == "all" else (args.mode,)
-    reports = [explain(plan, db, mode=mode) for mode in modes]
+    reports = [
+        explain(plan, db, mode=mode, shards=args.shards) for mode in modes
+    ]
     if args.json:
         print(json.dumps([r.to_dict() for r in reports], indent=2))
         return 0
@@ -292,9 +294,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_parser.add_argument(
         "--mode",
-        choices=("all", "reference", "stream", "batch", "compiled", "auto"),
+        choices=(
+            "all", "reference", "stream", "batch", "compiled", "sharded",
+            "auto",
+        ),
         default="all",
         help="executor mode, or 'all' for every mode (default)",
+    )
+    explain_parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count for mode=sharded (default: executor default)",
     )
     explain_parser.add_argument("--size", type=int, default=60)
     explain_parser.add_argument("--seed", type=int, default=0)
@@ -344,8 +353,8 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the benchmark suites and write a BENCH json"
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR7.json",
-        help="output path (default: BENCH_PR7.json)",
+        "--out", default="BENCH_PR9.json",
+        help="output path (default: BENCH_PR9.json)",
     )
     bench_parser.add_argument(
         "--quick", action="store_true",

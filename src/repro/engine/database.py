@@ -35,14 +35,17 @@ from ..types.signatures import Signature, standard_signature
 from ..types.values import CVSet, Tup, Value, atoms_of
 from .exec import (
     MAX_PIPELINE_DEPTH,
+    NotPartitionable,
     PlanCache,
     execute_compiled,
+    execute_sharded,
     execute_streaming,
     plan_depth,
+    plan_partitioning,
     relation_fingerprint,
 )
 
-__all__ = ["Database", "SchemaError", "MODE_CHAIN"]
+__all__ = ["Database", "SchemaError", "MODE_CHAIN", "SHARDED_CHAIN"]
 
 _EMPTY = CVSet()
 
@@ -53,6 +56,12 @@ _EMPTY = CVSet()
 #: re-raises if even the reference fails, which no injected fault can
 #: cause).
 MODE_CHAIN = ("compiled", "batch", "stream", "reference")
+
+#: Degradation order when entering at ``mode="sharded"``: a lost
+#: worker or partition failure drops straight to the single-process
+#: batch executor — recompiling or re-partitioning cannot recover a
+#: fault the shard layer already hit.
+SHARDED_CHAIN = ("sharded", "batch", "stream", "reference")
 
 
 class SchemaError(Exception):
@@ -384,6 +393,17 @@ class Database:
         candidates = ("reference", "stream", "batch", "compiled")
         if plan_depth(plan) > MAX_PIPELINE_DEPTH:
             candidates = ("reference", "stream", "batch")
+        else:
+            try:
+                plan_partitioning(plan)
+            except NotPartitionable:
+                pass
+            else:
+                # Partition-parallel execution is only a candidate when
+                # the plan actually admits a ledger-preserving partition
+                # — its MODE_COST overhead keeps it out until estimated
+                # work dwarfs the process-pool spin-up.
+                candidates = candidates + ("sharded",)
         decision = choose_mode(
             plan, self.current_stats(), candidates=candidates
         )
@@ -465,9 +485,21 @@ class Database:
         self.plan_cache.fault_injector = injector
 
     def _run_mode(
-        self, plan: Plan, mode: str, use_cache: bool, tracer
+        self, plan: Plan, mode: str, use_cache: bool, tracer,
+        shards=None,
     ) -> ExecutionResult:
         """Dispatch one executor attempt (no fallback)."""
+        if mode == "sharded":
+            return execute_sharded(
+                plan,
+                self.relations,
+                shards=shards,
+                cache=self.plan_cache if use_cache else None,
+                key_index=self._join_index,
+                relation_stats=self.relation_stats,
+                tracer=tracer,
+                fault_injector=self._fault_injector,
+            )
         if mode == "reference":
             # The terminal fallback: no cache, no compiler, no fault
             # hooks — an injected fault can never reach it.
@@ -504,6 +536,7 @@ class Database:
         use_cache: bool = True,
         mode: str = "stream",
         tracer=None,
+        shards=None,
     ) -> ExecutionResult:
         """Execute a plan (cached by default).
 
@@ -512,7 +545,12 @@ class Database:
         fastest one-shot cold path; ``mode="compiled"`` lowers the plan
         to a specialized function memoized in the plan cache's artifact
         table — fastest repeated cold path; ``mode="reference"`` runs
-        the tuple-at-a-time interpreter.  ``mode="auto"`` derives a
+        the tuple-at-a-time interpreter.  ``mode="sharded"`` hash-
+        partitions the base relations per the plan's equality keys and
+        evaluates shard-by-shard on a process pool (``shards=N``; see
+        :mod:`repro.engine.exec.shard`), merging a result byte-identical
+        to streaming; non-partitionable plans run single-shard.
+        ``mode="auto"`` derives a
         cost catalog from the live contents (:meth:`current_stats`),
         scores every candidate executor (:func:`~repro.optimizer.cost.
         choose_mode`) and runs the cheapest; the decision is memoized
@@ -522,7 +560,9 @@ class Database:
         **Graceful degradation**: if an executor fails mid-query (an
         injected fault, a compile error, any unexpected exception), the
         engine falls back down :data:`MODE_CHAIN` — compiled → batch →
-        stream → reference — starting from the requested mode, and
+        stream → reference — starting from the requested mode
+        (``mode="sharded"`` enters at :data:`SHARDED_CHAIN`: sharded →
+        batch → stream → reference), and
         re-runs on the next-simpler executor.  Executor parity
         guarantees the fallback answer is the answer (identical value,
         work, ledger).  Every degradation event bumps the
@@ -538,19 +578,22 @@ class Database:
         if mode == "auto":
             decision = self.plan_mode(plan)
             mode = decision.mode
-        if mode in MODE_CHAIN:
-            chain_start = MODE_CHAIN.index(mode)
+        if mode == "sharded":
+            chain: tuple = SHARDED_CHAIN
+        elif mode in MODE_CHAIN:
+            chain = MODE_CHAIN[MODE_CHAIN.index(mode):]
         else:
             raise ValueError(
-                f"mode must be 'auto', 'reference', 'stream', 'batch' "
-                f"or 'compiled', got {mode!r}"
+                f"mode must be 'auto', 'reference', 'stream', 'batch', "
+                f"'compiled' or 'sharded', got {mode!r}"
             )
-        chain = MODE_CHAIN[chain_start:]
         degraded: list[dict] = []
         result: Optional[ExecutionResult] = None
         for step, attempt in enumerate(chain):
             try:
-                result = self._run_mode(plan, attempt, use_cache, tracer)
+                result = self._run_mode(
+                    plan, attempt, use_cache, tracer, shards
+                )
                 break
             except Exception as exc:
                 if step == len(chain) - 1:

@@ -27,6 +27,7 @@ from .fingerprint import (
     semantic_cache_key,
 )
 from .operators import Frame, collect_frame, node_label
+from .shard import NotPartitionable, execute_sharded, plan_partitioning
 
 __all__ = [
     "CacheEntry",
@@ -39,6 +40,9 @@ __all__ = [
     "execute_batch",
     "execute_compiled",
     "execute_streaming",
+    "NotPartitionable",
+    "execute_sharded",
+    "plan_partitioning",
     "plan_depth",
     "subtree_counts",
     "annotate_plan",

@@ -206,9 +206,22 @@ def execute_streaming(
             tracer=tracer,
             fault_injector=fault_injector,
         )
+    if mode == "sharded":
+        from .shard import execute_sharded
+
+        return execute_sharded(
+            plan,
+            db,
+            cache=cache,
+            key_index=key_index,
+            relation_stats=relation_stats,
+            tracer=tracer,
+            fault_injector=fault_injector,
+        )
     if mode != "stream":
         raise ValueError(
-            f"mode must be 'stream', 'batch' or 'compiled', got {mode!r}"
+            f"mode must be 'stream', 'batch', 'compiled' or 'sharded', "
+            f"got {mode!r}"
         )
     if cache is not None:
         # Shared interning: tokens (and alias ordinals) are stable

@@ -69,6 +69,7 @@ from ..obs.trace import Tracer
 from ..optimizer.plan import (
     Difference,
     Intersect,
+    Join,
     MapNode,
     Plan,
     Scan,
@@ -82,6 +83,7 @@ from .exec import (
     PlanCache,
     execute_batch,
     execute_compiled,
+    execute_sharded,
     execute_streaming,
 )
 from .workload import (
@@ -598,6 +600,82 @@ def _scenario_compiled(rng: random.Random, check: _Checker) -> None:
     check.check(plan, db, modes=("compiled-cold",))
 
 
+def _scenario_sharded(rng: random.Random, check: _Checker) -> None:
+    """Sharded-vs-streaming twin: one plan, shard counts 1/2/4.
+
+    Random plans exercise the analysis fallback (non-partitionable
+    plans must collapse to single-shard and still match); the forced
+    co-partitioned join and atom set-op trees pin the genuinely
+    partitioned paths.  Twin runs use ``jobs=1`` so fuzz workers never
+    nest process pools — the partition/merge accounting is identical
+    either way — while the live-database pass goes through
+    ``Database.run(mode="sharded")`` end to end.
+    """
+    db = random_database(rng, _NAMES)
+    for _ in range(2):
+        plan = random_plan(rng, _NAMES, depth=rng.randint(1, 4))
+        want = execute_streaming(plan, db)
+        for shards in (1, 2, 4):
+            check._compare(
+                f"sharded-{shards}",
+                execute_sharded(plan, db, shards=shards, jobs=1),
+                want,
+            )
+    # A guaranteed co-partitioned equi-join (cross-shard probes vanish).
+    join = Join(
+        ((rng.randrange(2), rng.randrange(2)),),
+        Scan(rng.choice(_NAMES)),
+        Scan(rng.choice(_NAMES)),
+    )
+    want = execute_streaming(join, db)
+    for shards in (2, 4):
+        check._compare(
+            f"sharded-join-{shards}",
+            execute_sharded(join, db, shards=shards, jobs=1),
+            want,
+        )
+    # Atom relations: column keys are impossible, so set-op trees run
+    # on whole-tuple hash and bare scans on round-robin.
+    adb = random_atom_database(rng, _NAMES)
+    atom_plan = _random_atom_plan(rng, rng.randint(1, 3))
+    want = execute_streaming(atom_plan, adb)
+    for shards in (1, 2, 4):
+        check._compare(
+            f"sharded-atoms-{shards}",
+            execute_sharded(atom_plan, adb, shards=shards, jobs=1),
+            want,
+        )
+    # Live database end to end: cache on, degradation chain wired, and
+    # picklable plans really cross the process pool.
+    live = Database()
+    for name in _NAMES:
+        live.create(name, 2)
+        live.insert(
+            name,
+            {
+                (rng.randrange(5), rng.randrange(5))
+                for _ in range(rng.randint(0, 8))
+            },
+        )
+    for _ in range(2):
+        plan = random_plan(rng, _NAMES, depth=rng.randint(1, 3))
+        want = live.run_reference(plan)
+        check._compare(
+            "db-sharded-cold",
+            live.run(
+                plan,
+                mode="sharded",
+                shards=rng.choice((2, 4)),
+                use_cache=False,
+            ),
+            want,
+        )
+        check._compare(
+            "db-sharded-warm", live.run(plan, mode="sharded", shards=2),
+            want,
+        )
+
+
 SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
     "random": _scenario_random,
     "nested": _scenario_nested,
@@ -606,6 +684,7 @@ SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
     "mutation": _scenario_mutation,
     "delta": _scenario_delta,
     "compiled": _scenario_compiled,
+    "sharded": _scenario_sharded,
     "trace": _scenario_trace,
     "deep": _scenario_deep,
 }

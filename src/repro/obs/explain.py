@@ -2,7 +2,8 @@
 
 :func:`explain` executes a plan under a :class:`~repro.obs.trace.Tracer`
 in one of the executor modes (``"reference"``, ``"stream"``,
-``"batch"``, ``"compiled"``, or cost-model-driven ``"auto"``) and
+``"batch"``, ``"compiled"``, partition-parallel ``"sharded"``, or
+cost-model-driven ``"auto"``) and
 packages the result as an :class:`ExplainReport` — the answer, the span
 tree, the cache activity the execution caused, and (for ``"auto"``) the
 mode decision with its per-candidate score table.
@@ -32,7 +33,7 @@ __all__ = ["MODES", "ExplainReport", "explain", "render_span_tree"]
 #: Executor modes :func:`explain` understands, in canonical order.
 #: ``"compiled"`` runs the plan compiler; ``"auto"`` lets the cost
 #: model pick the executor (the report carries the decision).
-MODES = ("reference", "stream", "batch", "compiled", "auto")
+MODES = ("reference", "stream", "batch", "compiled", "sharded", "auto")
 
 
 def _span_line(span: Span, *, wall: bool) -> str:
@@ -152,14 +153,17 @@ class ExplainReport:
 
 
 def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
+            shards: Optional[int] = None,
             tracer: Optional[Tracer] = None) -> ExplainReport:
     """Execute ``plan`` over ``db`` with tracing on; return the report.
 
     ``db`` is a relation mapping or a ``Database``.  ``use_cache``
     only matters for a ``Database`` (plain mappings carry no cache):
     with it, stream/batch runs go through the database's plan cache
-    and the report carries the get/put/evict counter delta.  Pass your
-    own ``tracer`` to keep the raw span for further inspection.
+    and the report carries the get/put/evict counter delta.  ``shards``
+    only matters for ``mode="sharded"`` (default: the executor's
+    ``DEFAULT_SHARDS``).  Pass your own ``tracer`` to keep the raw span
+    for further inspection.
     """
     # Imported here so `repro.obs` stays import-light (no engine
     # dependency at module import time).
@@ -188,7 +192,7 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
         # *and* any graceful-degradation fallbacks, both merged onto
         # the root span's meta by ``run`` itself.
         result = db.run(plan, mode=mode, use_cache=use_cache,
-                        tracer=tracer)
+                        shards=shards, tracer=tracer)
         if mode == "auto":
             decision = db.plan_mode(plan)  # memoized: same decision
     else:
@@ -206,6 +210,18 @@ def explain(plan, db, mode: str = "stream", *, use_cache: bool = True,
             run_mode = decision.mode
         if run_mode == "reference":
             result = execute_reference(plan, relations, tracer=tracer)
+        elif run_mode == "sharded":
+            from ..engine.exec import execute_sharded
+
+            result = execute_sharded(
+                plan,
+                relations,
+                shards=shards,
+                cache=cache,
+                key_index=key_index,
+                relation_stats=relation_stats,
+                tracer=tracer,
+            )
         else:
             result = execute_streaming(
                 plan,

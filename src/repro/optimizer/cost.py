@@ -281,6 +281,13 @@ MODE_COST: dict[str, tuple[float, float]] = {
     "stream": (1.05, 30.0),
     "batch": (0.60, 60.0),
     "compiled": (0.25, 90.0),
+    # Partition-parallel streaming over a 4-shard process pool: the
+    # per-unit cost divides across workers (plus partition/merge and
+    # result pickling), but the pool spin-up is a fixed cost orders of
+    # magnitude above any in-process overhead — only plans whose
+    # estimated work dwarfs it should ever shard.  ``Database.plan_mode``
+    # additionally gates the candidate on partitionability.
+    "sharded": (0.40, 200_000.0),
 }
 
 

@@ -3,8 +3,9 @@
 Each seed builds a live :class:`~repro.engine.database.Database`,
 draws per-site fault rates from its seeded rng, attaches a
 :class:`~repro.robustness.faults.FaultInjector`, and runs random plans
-through every executor mode — stream, batch, compiled, auto, warm-cache
-repeats, and post-mutation re-runs.  The oracle is the reference
+through every executor mode — stream, batch, compiled, auto, sharded
+(partition-parallel, under ``shard`` faults that must degrade down
+``SHARDED_CHAIN``), warm-cache repeats, and post-mutation re-runs.  The oracle is the reference
 interpreter, which sits outside the fault surface (no cache, no
 compiler, no injection hooks), so its answer is always the fault-free
 truth.  Two invariants, checked per execution:
@@ -148,10 +149,11 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
         cache_rate=rng.choice(_RATES),
         compile_rate=rng.choice(_RATES),
         maintenance_rate=rng.choice(_RATES),
+        shard_rate=rng.choice(_RATES),
     )
     injector = FaultInjector(fault_plan)
 
-    def check(plan, mode: str, use_cache: bool) -> None:
+    def check(plan, mode: str, use_cache: bool, shards=None) -> None:
         # The oracle runs with injection detached; run_reference never
         # touches the cache or the injector, but detaching makes the
         # fault-free contract explicit and keeps draw sequences tied to
@@ -161,7 +163,7 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
         db.fault_injector = injector
         report.checks += 1
         try:
-            got = db.run(plan, mode=mode, use_cache=use_cache)
+            got = db.run(plan, mode=mode, use_cache=use_cache, shards=shards)
         except Exception as exc:  # noqa: BLE001 — escapes are the finding
             report.escapes.append(
                 ChaosFailure(
@@ -178,6 +180,10 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
     for plan in plans:
         for mode in _MODES:
             check(plan, mode, use_cache=False)
+        # Sharded tier: ``shard`` faults fire in the parent before
+        # dispatch and must degrade down SHARDED_CHAIN
+        # (sharded -> batch -> stream -> reference), never escape.
+        check(plan, "sharded", use_cache=False, shards=rng.choice((2, 4)))
         # Warm path: first run populates, second must revalidate any
         # tampered entry instead of serving it.
         check(plan, "stream", use_cache=True)

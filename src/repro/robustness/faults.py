@@ -5,7 +5,7 @@ The engine's core invariant is four-way executor parity (value, work,
 ledger).  This module supplies the *adversary* for that invariant: a
 seeded, reproducible source of component failures threaded through the
 executors, the :class:`~repro.engine.exec.cache.PlanCache`, and the
-parallel harness via optional hooks.  Four fault sites:
+parallel harness via optional hooks.  Six fault sites:
 
 * ``"operator"`` — a physical operator raises mid-execution (streaming
   and batch executors draw once per compiled operator; the compiled
@@ -21,7 +21,11 @@ parallel harness via optional hooks.  Four fault sites:
 * ``"maintenance"`` — semi-naive delta maintenance of a cached entry
   fails mid-patch (drawn once per maintainable entry inside
   ``PlanCache.maintain``); the cache must degrade to
-  invalidate-then-recompute, never serve a half-patched entry.
+  invalidate-then-recompute, never serve a half-patched entry;
+* ``"shard"`` — a shard worker is lost mid-shard (drawn once per shard,
+  in shard order, before ``execute_sharded`` dispatches the partition);
+  the fault escapes into ``Database.run``'s sharded degradation chain
+  (``sharded -> batch -> stream -> reference``).
 
 Determinism: every draw comes from one ``random.Random`` seeded from
 the plan, in execution order.  Executor traversal order is itself
@@ -51,7 +55,9 @@ __all__ = [
 ]
 
 #: Fault sites an injector understands, in documentation order.
-FAULT_SITES = ("operator", "cache", "compile", "worker", "maintenance")
+FAULT_SITES = (
+    "operator", "cache", "compile", "worker", "maintenance", "shard",
+)
 
 
 class InjectedFault(RuntimeError):
@@ -88,6 +94,7 @@ class FaultPlan:
     compile_rate: float = 0.0
     worker_rate: float = 0.0
     maintenance_rate: float = 0.0
+    shard_rate: float = 0.0
 
     def rate_for(self, site: str) -> float:
         if site not in FAULT_SITES:

@@ -17,9 +17,7 @@ from repro.engine.database import Database
 from repro.engine.exec import PlanCache, execute_batch, execute_streaming
 from repro.engine.workload import (
     deep_chain_plan,
-    hr_database,
     random_atom_database,
-    random_database,
     random_nested_database,
     random_plan,
 )
@@ -32,34 +30,19 @@ from repro.optimizer.plan import (
     Scan,
     Select,
     Union,
-    execute_reference,
 )
 from repro.types.values import CVSet, Tup
-
-NAMES = ("r", "s", "t")
-
-
-def _assert_equivalent(plan, db, *results):
-    reference = execute_reference(plan, db)
-    for result in results:
-        assert result.value == reference.value
-        assert result.work == reference.work
-        assert result.per_node == reference.per_node
+from tests.conftest import NAMES, assert_equivalent
 
 
 class TestBatchEquivalence:
-    def test_random_plans_match_reference(self):
+    def test_random_plans_match_reference(self, plan_pair):
         """Random plan/db pairs: batch cold, fresh-cache cold and warm
         all agree with the reference, including work and ledger."""
-        rng = random.Random(20260807)
-        for _ in range(80):
-            db = random_database(
-                rng, NAMES, arity=2, domain_size=5,
-                max_rows=rng.randint(0, 12),
-            )
-            plan = random_plan(rng, NAMES, depth=rng.randint(1, 4))
+        for seed in range(80):
+            plan, db = plan_pair(20260807 + seed)
             cache = PlanCache()
-            _assert_equivalent(
+            assert_equivalent(
                 plan, db,
                 execute_batch(plan, db),
                 execute_batch(plan, db, cache=cache),
@@ -71,7 +54,7 @@ class TestBatchEquivalence:
         for _ in range(25):
             db = random_nested_database(rng, NAMES)
             plan = random_plan(rng, NAMES, depth=rng.randint(1, 3))
-            _assert_equivalent(plan, db, execute_batch(plan, db))
+            assert_equivalent(plan, db, execute_batch(plan, db))
 
     def test_atom_relations(self):
         """Bare-atom elements: weight falls back to 1 per element and
@@ -81,19 +64,19 @@ class TestBatchEquivalence:
             db = random_atom_database(rng, NAMES)
             op = rng.choice((Union, Difference, Intersect))
             plan = op(Scan(rng.choice(NAMES)), Scan(rng.choice(NAMES)))
-            _assert_equivalent(plan, db, execute_batch(plan, db))
+            assert_equivalent(plan, db, execute_batch(plan, db))
 
     def test_empty_projection_width_zero(self):
         """``pi[]`` makes zero-length tuples whose weight is 1, not 0."""
         db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
         plan = Project((), Scan("r"))
-        _assert_equivalent(plan, db, execute_batch(plan, db))
+        assert_equivalent(plan, db, execute_batch(plan, db))
 
     def test_deep_chain_is_stack_safe(self):
         rng = random.Random(9)
         plan = deep_chain_plan(rng, "r", 2000)
         db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
-        _assert_equivalent(plan, db, execute_batch(plan, db))
+        assert_equivalent(plan, db, execute_batch(plan, db))
 
     def test_join_shapes(self):
         """Empty-``on`` (all pairs), single-pair, and multi-pair joins."""
@@ -103,7 +86,7 @@ class TestBatchEquivalence:
         }
         for on in ((), ((0, 0),), ((0, 0), (1, 1))):
             plan = Join(on, Scan("a"), Scan("b"))
-            _assert_equivalent(plan, db, execute_batch(plan, db))
+            assert_equivalent(plan, db, execute_batch(plan, db))
 
     def test_cse_shared_subtree(self):
         """A repeated subtree is computed once and its ledger spliced."""
@@ -115,14 +98,14 @@ class TestBatchEquivalence:
         plan = Difference(
             MapNode("id", lambda t: t, shared, injective=True), shared
         )
-        _assert_equivalent(plan, db, execute_batch(plan, db))
+        assert_equivalent(plan, db, execute_batch(plan, db))
 
 
 class TestModeDispatch:
     def test_streaming_entrypoint_routes_batch(self):
         db = {"r": CVSet({Tup((1, 2))})}
         plan = Project((0,), Scan("r"))
-        _assert_equivalent(
+        assert_equivalent(
             plan, db, execute_streaming(plan, db, mode="batch")
         )
 
@@ -141,7 +124,7 @@ class TestCacheInterop:
         cache.reset_stats()
         result = execute_streaming(plan, db, cache=cache)
         assert cache.hits >= 1
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
 
     def test_streaming_writes_batch_hits(self):
         db = {"r": CVSet(Tup((i, i)) for i in range(5))}
@@ -151,7 +134,7 @@ class TestCacheInterop:
         cache.reset_stats()
         result = execute_batch(plan, db, cache=cache)
         assert cache.hits >= 1
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
 
     def test_predicate_work_skipped_on_warm_run(self):
         calls = 0
@@ -168,17 +151,16 @@ class TestCacheInterop:
         assert calls == 5
         second = execute_batch(plan, db, cache=cache)
         assert calls == 5  # served from cache
-        _assert_equivalent(plan, db, second)
+        assert_equivalent(plan, db, second)
 
 
 class TestDatabaseBatchRun:
-    def test_run_mode_batch_with_maintained_stats(self):
-        db = hr_database(random.Random(11), employees=40, students=25,
-                         overlap=10)
+    def test_run_mode_batch_with_maintained_stats(self, hr_db):
+        db = hr_db()
         plan = Project((0,), Difference(Scan("employees"),
                                         Scan("students")))
         result = db.run(plan, use_cache=False, mode="batch")
-        _assert_equivalent(plan, db.relations, result)
+        assert_equivalent(plan, db.relations, result)
 
     def test_prebuilt_join_index_path(self):
         db = Database()
@@ -188,7 +170,7 @@ class TestDatabaseBatchRun:
         db.insert("k", [(i % 5, str(i)) for i in range(10)])
         plan = Join(((1, 0),), Scan("e"), Scan("k"))
         result = db.run(plan, use_cache=False, mode="batch")
-        _assert_equivalent(plan, db.relations, result)
+        assert_equivalent(plan, db.relations, result)
 
     def test_stats_survive_mutation(self):
         """Insert + wholesale replacement keep weights/widths honest."""
@@ -196,15 +178,15 @@ class TestDatabaseBatchRun:
         db.create("r", 2)
         db.insert("r", [(i, i) for i in range(6)])
         plan = Union(Scan("r"), Scan("r"))
-        _assert_equivalent(
+        assert_equivalent(
             plan, db.relations, db.run(plan, use_cache=False, mode="batch")
         )
         db.insert("r", [(9, 9), (10, 10)])
-        _assert_equivalent(
+        assert_equivalent(
             plan, db.relations, db.run(plan, use_cache=False, mode="batch")
         )
         db["r"] = CVSet({Tup((1,)), Tup((1, 2, 3)), "atom"})
         assert db.relation_width("r") is None
-        _assert_equivalent(
+        assert_equivalent(
             plan, db.relations, db.run(plan, use_cache=False, mode="batch")
         )

@@ -22,9 +22,7 @@ from repro.engine.exec import (
 )
 from repro.engine.workload import (
     deep_chain_plan,
-    hr_database,
     random_atom_database,
-    random_database,
     random_nested_database,
     random_plan,
 )
@@ -39,35 +37,20 @@ from repro.optimizer.plan import (
     Scan,
     Select,
     Union,
-    execute_reference,
 )
 from repro.types.values import CVSet, Tup
-
-NAMES = ("r", "s", "t")
-
-
-def _assert_equivalent(plan, db, *results):
-    reference = execute_reference(plan, db)
-    for result in results:
-        assert result.value == reference.value
-        assert result.work == reference.work
-        assert result.per_node == reference.per_node
+from tests.conftest import NAMES, assert_equivalent
 
 
 class TestCompiledEquivalence:
-    def test_random_plans_match_reference(self):
+    def test_random_plans_match_reference(self, plan_pair):
         """200 random plan/db pairs: compiled cold, artifact-warm and
         result-warm all agree with the reference, work and ledger
         included."""
-        rng = random.Random(20260808)
-        for _ in range(200):
-            db = random_database(
-                rng, NAMES, arity=2, domain_size=5,
-                max_rows=rng.randint(0, 12),
-            )
-            plan = random_plan(rng, NAMES, depth=rng.randint(1, 4))
+        for seed in range(200):
+            plan, db = plan_pair(20260808 + seed)
             store = PlanCache()
-            _assert_equivalent(
+            assert_equivalent(
                 plan, db,
                 execute_compiled(plan, db),
                 execute_compiled(plan, db, compile_store=store),
@@ -80,7 +63,7 @@ class TestCompiledEquivalence:
         for _ in range(25):
             db = random_nested_database(rng, NAMES)
             plan = random_plan(rng, NAMES, depth=rng.randint(1, 3))
-            _assert_equivalent(plan, db, execute_compiled(plan, db))
+            assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_atom_relations(self):
         """Bare atoms: weight 1 per element, unknown widths — the
@@ -90,7 +73,7 @@ class TestCompiledEquivalence:
             db = random_atom_database(rng, NAMES)
             op = rng.choice((Union, Difference, Intersect))
             plan = op(Scan(rng.choice(NAMES)), Scan(rng.choice(NAMES)))
-            _assert_equivalent(plan, db, execute_compiled(plan, db))
+            assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_join_shapes(self):
         """Empty-``on``, single-pair and multi-pair joins plus the
@@ -101,9 +84,9 @@ class TestCompiledEquivalence:
         }
         for on in ((), ((0, 0),), ((0, 0), (1, 1))):
             plan = Join(on, Scan("a"), Scan("b"))
-            _assert_equivalent(plan, db, execute_compiled(plan, db))
+            assert_equivalent(plan, db, execute_compiled(plan, db))
         plan = Product(Scan("a"), Scan("b"))
-        _assert_equivalent(plan, db, execute_compiled(plan, db))
+        assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_join_with_non_scan_right_child(self):
         """The pre-built index shortcut only fires for a Scan right
@@ -114,13 +97,13 @@ class TestCompiledEquivalence:
         }
         plan = Join(((0, 0),), Scan("a"),
                     Union(Scan("b"), Scan("b")))
-        _assert_equivalent(plan, db, execute_compiled(plan, db))
+        assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_scan_root_and_empty_projection(self):
         db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
-        _assert_equivalent(Scan("r"), db, execute_compiled(Scan("r"), db))
+        assert_equivalent(Scan("r"), db, execute_compiled(Scan("r"), db))
         plan = Project((), Scan("r"))
-        _assert_equivalent(plan, db, execute_compiled(plan, db))
+        assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_cse_shared_subtree_ledger_splice(self):
         """A repeated subtree runs once; its ledger segment is spliced
@@ -133,12 +116,12 @@ class TestCompiledEquivalence:
         plan = Difference(
             MapNode("id", lambda t: t, shared, injective=True), shared
         )
-        _assert_equivalent(plan, db, execute_compiled(plan, db))
+        assert_equivalent(plan, db, execute_compiled(plan, db))
 
     def test_missing_relation_reads_as_empty_like_reference(self):
         db = {"r": CVSet({Tup((1,))})}
         plan = Union(Scan("r"), Scan("absent"))
-        _assert_equivalent(plan, db, execute_compiled(plan, db))
+        assert_equivalent(plan, db, execute_compiled(plan, db))
 
 
 class TestDeepPlanFallback:
@@ -149,7 +132,7 @@ class TestDeepPlanFallback:
         db = {"r": CVSet({Tup((1, 2)), Tup((3, 4))})}
         store = PlanCache()
         result = execute_compiled(plan, db, compile_store=store)
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
         # The fallback must not have compiled anything.
         assert store.compiled_stats()["puts"] == 0
 
@@ -160,7 +143,7 @@ class TestDeepPlanFallback:
         assert plan_depth(plan) == MAX_PIPELINE_DEPTH
         db = {"r": CVSet({Tup((1,)), Tup((2,))})}
         store = PlanCache()
-        _assert_equivalent(
+        assert_equivalent(
             plan, db, execute_compiled(plan, db, compile_store=store)
         )
         assert store.compiled_stats()["puts"] == 1
@@ -191,7 +174,7 @@ class TestArtifactLifecycle:
         plan = Project((0,), Scan("r"))
         store = PlanCache(0)
         for _ in range(3):
-            _assert_equivalent(
+            assert_equivalent(
                 plan, db, execute_compiled(plan, db, compile_store=store)
             )
         stats = store.compiled_stats()
@@ -220,10 +203,10 @@ class TestArtifactLifecycle:
         db.insert("r", [(i, i) for i in range(4)])
         plan = Project((0,), Scan("r"))
         first = db.run(plan, use_cache=False, mode="compiled")
-        _assert_equivalent(plan, db.relations, first)
+        assert_equivalent(plan, db.relations, first)
         db.insert("r", [(9, 9), (10, 10)])
         second = db.run(plan, use_cache=False, mode="compiled")
-        _assert_equivalent(plan, db.relations, second)
+        assert_equivalent(plan, db.relations, second)
         assert second.value != first.value
 
     def test_compile_plan_is_specialized_to_current_contents(self):
@@ -245,7 +228,7 @@ class TestCacheInterop:
         cache.reset_stats()
         result = execute_streaming(plan, db, cache=cache)
         assert cache.hits >= 1
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
 
     def test_streaming_writes_compiled_hits(self):
         db = {"r": CVSet(Tup((i, i)) for i in range(5))}
@@ -255,7 +238,7 @@ class TestCacheInterop:
         cache.reset_stats()
         result = execute_compiled(plan, db, cache=cache)
         assert cache.hits >= 1
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
 
     def test_predicate_aliasing_keeps_keys_distinct(self):
         """Two same-named predicates with different behavior must not
@@ -266,8 +249,8 @@ class TestCacheInterop:
         cache = PlanCache()
         a = execute_compiled(low, db, cache=cache)
         b = execute_compiled(high, db, cache=cache)
-        _assert_equivalent(low, db, a)
-        _assert_equivalent(high, db, b)
+        assert_equivalent(low, db, a)
+        assert_equivalent(high, db, b)
         assert a.value != b.value
 
 
@@ -280,15 +263,14 @@ class TestDatabaseCompiledRun:
         db.insert("k", [(i % 5, str(i)) for i in range(10)])
         plan = Join(((1, 0),), Scan("e"), Scan("k"))
         result = db.run(plan, use_cache=False, mode="compiled")
-        _assert_equivalent(plan, db.relations, result)
+        assert_equivalent(plan, db.relations, result)
 
-    def test_hr_workload_matches_reference(self):
-        db = hr_database(random.Random(11), employees=40, students=25,
-                         overlap=10)
+    def test_hr_workload_matches_reference(self, hr_db):
+        db = hr_db()
         plan = Project((0,), Difference(Scan("employees"),
                                         Scan("students")))
         result = db.run(plan, use_cache=False, mode="compiled")
-        _assert_equivalent(plan, db.relations, result)
+        assert_equivalent(plan, db.relations, result)
 
     def test_use_cache_false_still_memoizes_the_program(self):
         """``use_cache=False`` disables the *result* cache only; the
@@ -305,9 +287,8 @@ class TestDatabaseCompiledRun:
 
 
 class TestCompiledTracing:
-    def test_span_tree_work_matches_result(self):
-        db = hr_database(random.Random(12), employees=30, students=20,
-                         overlap=8)
+    def test_span_tree_work_matches_result(self, hr_db):
+        db = hr_db(seed=12, employees=30, students=20, overlap=8)
         plan = Project((0,), Difference(Scan("employees"),
                                         Scan("students")))
         tracer = Tracer()
@@ -336,6 +317,6 @@ class TestCompiledTracing:
         execute_compiled(plan, db, cache=cache)
         tracer = Tracer()
         result = execute_compiled(plan, db, cache=cache, tracer=tracer)
-        _assert_equivalent(plan, db, result)
+        assert_equivalent(plan, db, result)
         assert tracer.last.cache == "hit"
         assert tracer.last.children == []

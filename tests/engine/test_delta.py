@@ -38,8 +38,7 @@ from repro.optimizer.plan import (
 )
 from repro.robustness import FaultInjector, FaultPlan
 from repro.types.values import cvset, tup
-
-_NAMES = ("r", "s", "t")
+from tests.conftest import NAMES as _NAMES
 
 
 def _even(t):
@@ -48,17 +47,6 @@ def _even(t):
 
 def _swap(t):
     return tup(t[1], t[0])
-
-
-def _db(rows_r=((1, 2), (2, 3), (4, 5)), rows_s=((2, 3), (6, 7))):
-    db = Database()
-    db.create("r", 2)
-    db.create("s", 2)
-    db.create("t", 2)
-    db.insert("r", rows_r)
-    db.insert("s", rows_s)
-    db.insert("t", [(1, 1)])
-    return db
 
 
 def _assert_parity(db, plan, mode="stream"):
@@ -118,8 +106,8 @@ class TestAnalyzer:
 
 
 class TestMaintainedEntries:
-    def test_insert_patches_entry_instead_of_invalidating(self):
-        db = _db()
+    def test_insert_patches_entry_instead_of_invalidating(self, small_db):
+        db = small_db
         plan = Project((0,), Scan("r"))
         db.run(plan)  # populate
         puts_before = db.plan_cache.puts
@@ -133,8 +121,8 @@ class TestMaintainedEntries:
         assert db.plan_cache.hits == hits_before + 1
         assert db.plan_cache.puts == puts_before
 
-    def test_counters_in_stats(self):
-        db = _db()
+    def test_counters_in_stats(self, small_db):
+        db = small_db
         plan = Union(Scan("r"), Scan("s"))
         db.run(plan)
         db.insert("r", [(9, 9)])
@@ -146,11 +134,11 @@ class TestMaintainedEntries:
         assert stats["maintained"] == 0
         assert stats["maintain_fallback"] == 0
 
-    def test_patched_entry_reseals(self):
+    def test_patched_entry_reseals(self, small_db):
         """In-place patching must stamp a fresh, valid seal: the warm
         hit revalidates it, so a stale seal would surface as a
         corruption + miss."""
-        db = _db()
+        db = small_db
         plan = Select("even", _even, Scan("r"))
         db.run(plan)
         db.insert("r", [(8, 1)])
@@ -164,8 +152,8 @@ class TestMaintainedEntries:
         _assert_parity(db, plan)
         assert cache.corruptions == 0  # revalidation passed
 
-    def test_patched_entry_rekeyed_under_new_fingerprint(self):
-        db = _db()
+    def test_patched_entry_rekeyed_under_new_fingerprint(self, small_db):
+        db = small_db
         plan = Project((1,), Scan("r"))
         db.run(plan)
         (old_key,) = list(db.plan_cache._entries)
@@ -175,8 +163,8 @@ class TestMaintainedEntries:
         assert new_key[0] == old_key[0]  # same semantic token
         assert new_key == db.plan_cache.key_for(plan, db.relations)
 
-    def test_difference_right_delta_invalidates(self):
-        db = _db()
+    def test_difference_right_delta_invalidates(self, small_db):
+        db = small_db
         plan = Difference(Scan("r"), Scan("s"))
         db.run(plan)
         assert len(db.plan_cache) == 1
@@ -188,16 +176,16 @@ class TestMaintainedEntries:
         assert db.plan_cache.maintain_fallback == 0
         _assert_parity(db, plan)
 
-    def test_difference_left_delta_maintains(self):
-        db = _db()
+    def test_difference_left_delta_maintains(self, small_db):
+        db = small_db
         plan = Difference(Scan("r"), Scan("s"))
         db.run(plan)
         db.insert("r", [(6, 7), (9, 9)])  # (6,7) is subtracted away
         assert db.plan_cache.maintained == 1
         _assert_parity(db, plan)
 
-    def test_join_delta_both_sides(self):
-        db = _db()
+    def test_join_delta_both_sides(self, small_db):
+        db = small_db
         plan = Join(((1, 0),), Scan("r"), Scan("s"))
         db.run(plan)
         db.insert("r", [(0, 2), (0, 6)])
@@ -205,8 +193,8 @@ class TestMaintainedEntries:
         assert db.plan_cache.maintained == 2
         _assert_parity(db, plan)
 
-    def test_maintenance_disabled_restores_invalidation(self):
-        db = _db()
+    def test_maintenance_disabled_restores_invalidation(self, small_db):
+        db = small_db
         db.plan_cache.maintenance_enabled = False
         plan = Project((0,), Scan("r"))
         db.run(plan)
@@ -231,10 +219,10 @@ class TestMaintainedEntries:
         assert not db.plan_cache._views
         assert cache is not db.plan_cache  # sanity
 
-    def test_entry_without_plan_invalidates(self):
+    def test_entry_without_plan_invalidates(self, small_db):
         """Entries put without a plan (no view registered) fall back to
         plain invalidation on insert."""
-        db = _db()
+        db = small_db
         plan = Project((0,), Scan("r"))
         key = db.plan_cache.key_for(plan, db.relations)
         result = db.run_reference(plan)
@@ -256,8 +244,8 @@ class TestMaintainedEntries:
 
 
 class TestMaintenanceFaults:
-    def test_injected_fault_degrades_to_invalidation(self):
-        db = _db()
+    def test_injected_fault_degrades_to_invalidation(self, small_db):
+        db = small_db
         plan = Project((0,), Scan("r"))
         db.run(plan)
         db.fault_injector = FaultInjector(
@@ -270,13 +258,13 @@ class TestMaintenanceFaults:
         db.fault_injector = None
         _assert_parity(db, plan)  # recomputes cold, identical answer
 
-    def test_fallback_counter_in_metrics(self):
+    def test_fallback_counter_in_metrics(self, small_db):
         from repro.obs.metrics import REGISTRY
 
         before = REGISTRY.snapshot().get("counters", {}).get(
             "robustness.maintenance.fallback", 0
         )
-        db = _db()
+        db = small_db
         plan = Union(Scan("r"), Scan("s"))
         db.run(plan)
         db.fault_injector = FaultInjector(
@@ -300,8 +288,8 @@ class TestMaintainedView:
         with pytest.raises(DeltaError):
             view.result()
 
-    def test_incremental_matches_reference_per_step(self):
-        db = _db()
+    def test_incremental_matches_reference_per_step(self, small_db):
+        db = small_db
         plan = Union(
             Join(((0, 0),), Scan("r"), Scan("s")),
             Product(Project((0,), Scan("r")), Scan("t")),
@@ -364,12 +352,12 @@ class TestByteIdentityProperty:
 
 
 class TestIncrementalStats:
-    def test_stats_not_recomputed_per_insert(self, monkeypatch):
+    def test_stats_not_recomputed_per_insert(self, small_db, monkeypatch):
         """``mode="auto"`` must not pay a full ``Stats.from_database``
         pass after every write: the stats memo is refreshed in place."""
         from repro.optimizer import cost
 
-        db = _db()
+        db = small_db
         calls = {"n": 0}
         original = cost.Stats.from_database.__func__
 
@@ -388,10 +376,10 @@ class TestIncrementalStats:
             db.run(plan, mode="auto")
         assert calls["n"] == 1  # never recomputed wholesale
 
-    def test_incremental_stats_match_cold_stats(self):
+    def test_incremental_stats_match_cold_stats(self, small_db):
         from repro.optimizer.cost import Stats
 
-        db = _db()
+        db = small_db
         db.run(Scan("r"), mode="auto")  # warm the memo
         db.insert("r", [(11, 12), (11, 13)])
         db.insert("s", [(0, 0)])
@@ -401,16 +389,16 @@ class TestIncrementalStats:
         assert incremental.widths == cold.widths
         assert incremental.distincts == cold.distincts
 
-    def test_wholesale_replacement_still_recomputes(self):
-        db = _db()
+    def test_wholesale_replacement_still_recomputes(self, small_db):
+        db = small_db
         first = db.current_stats()
         db["r"] = cvset(tup(1, 1))
         second = db.current_stats()
         assert second is not first
         assert second.rows["r"] == 1
 
-    def test_distincts_maintained_incrementally(self):
-        db = _db()
+    def test_distincts_maintained_incrementally(self, small_db):
+        db = small_db
         assert db.column_distincts("r") == {0: 3, 1: 3}
         db.insert("r", [(9, 2)])  # new col-0 value, old col-1 value
         assert db.column_distincts("r") == {0: 4, 1: 3}

@@ -17,7 +17,6 @@ from repro.engine.exec import (
     relation_fingerprint,
     result_cache_key,
 )
-from repro.engine.workload import hr_database, random_database, random_plan
 from repro.optimizer.plan import (
     Difference,
     Intersect,
@@ -29,31 +28,17 @@ from repro.optimizer.plan import (
     execute_reference,
 )
 from repro.types.values import CVSet, Tup, cvset, tup
-
-NAMES = ("r", "s", "t")
-
-
-def _assert_equivalent(plan, db, *results):
-    reference = execute_reference(plan, db)
-    for result in results:
-        assert result.value == reference.value
-        assert result.work == reference.work
-        assert result.per_node == reference.per_node
+from tests.conftest import assert_equivalent
 
 
 class TestEquivalenceProperty:
-    def test_random_plans_match_reference(self):
+    def test_random_plans_match_reference(self, plan_pair):
         """≥200 random plan/database pairs: streaming, cached-cold and
         cached-warm all agree with the reference, including work."""
-        rng = random.Random(20260806)
         pairs_checked = 0
         nodes_seen = set()
-        for _ in range(220):
-            db = random_database(
-                rng, NAMES, arity=2, domain_size=5,
-                max_rows=rng.randint(0, 12),
-            )
-            plan = random_plan(rng, NAMES, depth=rng.randint(1, 4))
+        for seed in range(220):
+            plan, db = plan_pair(20260806 + seed)
             stack = [plan]
             while stack:
                 node = stack.pop()
@@ -63,7 +48,7 @@ class TestEquivalenceProperty:
             streaming = execute_streaming(plan, db)
             cached_cold = execute_streaming(plan, db, cache=cache)
             cached_warm = execute_streaming(plan, db, cache=cache)
-            _assert_equivalent(
+            assert_equivalent(
                 plan, db, streaming, cached_cold, cached_warm
             )
             pairs_checked += 1
@@ -74,19 +59,18 @@ class TestEquivalenceProperty:
             "Difference", "Intersect", "Product", "Join",
         }
 
-    def test_multi_pair_and_empty_join(self):
-        rng = random.Random(3)
-        db = random_database(rng, NAMES, arity=2, domain_size=4, max_rows=10)
+    def test_multi_pair_and_empty_join(self, random_db):
+        db = random_db(3, arity=2, domain_size=4, max_rows=10)
         multi = Join(((0, 0), (1, 1)), Scan("r"), Scan("s"))
         empty = Join((), Scan("r"), Scan("s"))
         dup_pairs = Join(((0, 0), (0, 0)), Scan("r"), Scan("s"))
         for plan in (multi, empty, dup_pairs):
-            _assert_equivalent(plan, db, execute_streaming(plan, db))
+            assert_equivalent(plan, db, execute_streaming(plan, db))
 
     def test_missing_relation_reads_empty(self):
         plan = Union(Scan("ghost"), Scan("r"))
         db = {"r": cvset(tup(1, 2))}
-        _assert_equivalent(plan, db, execute_streaming(plan, db))
+        assert_equivalent(plan, db, execute_streaming(plan, db))
 
 
 class TestCSE:
@@ -156,7 +140,7 @@ class TestPlanCache:
         # `shared` was materialized as a build side in the first query
         # and is served from cache in the second.
         assert cache.hits >= 1
-        _assert_equivalent(
+        assert_equivalent(
             Intersect(Scan("r"), shared), db, result
         )
 
@@ -186,9 +170,8 @@ class TestPlanCache:
 
 
 class TestDatabaseExecution:
-    def test_run_matches_reference_and_uses_cache(self):
-        db = hr_database(random.Random(11), employees=40, students=25,
-                         overlap=10)
+    def test_run_matches_reference_and_uses_cache(self, hr_db):
+        db = hr_db()
         plan = Project((0,), Difference(Scan("employees"),
                                         Scan("students")))
         first = db.run(plan)
@@ -218,9 +201,8 @@ class TestDatabaseExecution:
         db["log"] = cvset(tup(9, "z"))
         assert db.run(plan).value == cvset(tup(9))
 
-    def test_single_pair_join_borrows_database_index(self):
-        db = hr_database(random.Random(5), employees=30, students=20,
-                         overlap=5)
+    def test_single_pair_join_borrows_database_index(self, hr_db):
+        db = hr_db(seed=5, employees=30, students=20, overlap=5)
         plan = Join(((0, 0),), Scan("employees"), Scan("students"))
         result = db.run(plan)
         assert (0,) in db._eq_indexes.get("students", {})
@@ -265,7 +247,7 @@ class TestSemanticCacheKeys:
             Select("thresh", lambda t: t[0] < 2, Scan("p")),
             Select("thresh", lambda t: t[0] >= 4, Scan("p")),
         )
-        _assert_equivalent(
+        assert_equivalent(
             plan, db,
             execute_streaming(plan, db),
             execute_streaming(plan, db, cache=PlanCache()),
@@ -357,7 +339,7 @@ class TestAtomRelations:
         db = {"a": CVSet([1, 2, "x", "y"]), "b": CVSet([2, "y", 5])}
         for op in (Union, Difference, Intersect):
             plan = op(Scan("a"), Scan("b"))
-            _assert_equivalent(
+            assert_equivalent(
                 plan, db,
                 execute_streaming(plan, db),
                 execute_streaming(plan, db, cache=PlanCache()),
@@ -368,7 +350,7 @@ class TestAtomRelations:
               "c": CVSet([3, "z"])}
         plan = Difference(Union(Scan("a"), Scan("b")),
                           Intersect(Scan("b"), Scan("c")))
-        _assert_equivalent(plan, db, execute_streaming(plan, db))
+        assert_equivalent(plan, db, execute_streaming(plan, db))
 
 
 class TestDeepPlans:
@@ -386,7 +368,7 @@ class TestDeepPlans:
         db = {"r": CVSet(Tup((i, i + 1)) for i in range(6))}
         plan = self._chain()
         cache = PlanCache()
-        _assert_equivalent(
+        assert_equivalent(
             plan, db,
             execute_streaming(plan, db),
             execute_streaming(plan, db, cache=cache),

@@ -135,6 +135,73 @@ class TestRendering:
         )
         assert "cache[" not in plain.render()
 
+    def test_maintained_entries_render_in_the_header(self):
+        report = ExplainReport(
+            mode="stream", plan="p", rows=1, work=2, root=Span("p"),
+            cache_stats={
+                "hits": 1, "misses": 0, "puts": 0,
+                "maintained": 1, "maintain_fallback": 0,
+            },
+        )
+        text = report.render(wall=False)
+        assert "1 entry patched in place by delta maintenance" in text
+        assert "fell back" not in text
+
+    def test_maintain_fallback_renders_in_the_header(self):
+        report = ExplainReport(
+            mode="stream", plan="p", rows=3, work=4, root=Span("p"),
+            cache_stats={
+                "hits": 2, "misses": 1, "puts": 1,
+                "maintained": 2, "maintain_fallback": 1,
+            },
+        )
+        text = report.render(wall=False)
+        assert "2 entries patched in place" in text
+        assert "(1 fell back to invalidation)" in text
+
+    def test_degraded_events_surface_in_render_and_dict(self):
+        events = [{"mode": "sharded", "to": "batch", "error": "X: boom"}]
+        report = ExplainReport(
+            mode="sharded", plan="p", rows=1, work=2, root=Span("p"),
+            degraded=events,
+        )
+        assert "degraded: sharded -> batch (X: boom)" in report.render(
+            wall=False
+        )
+        assert report.to_dict()["degraded"] == events
+
+
+class TestPlainMapping:
+    """``explain`` over a bare relation mapping (no Database attached)."""
+
+    def test_reference_mode(self, plan, db):
+        report = explain(plan, db.relations, mode="reference")
+        want = db.run_reference(plan)
+        assert report.rows == len(want.value)
+        assert report.work == want.work
+        assert report.cache_stats is None
+
+    def test_sharded_mode(self, plan, db):
+        report = explain(plan, db.relations, mode="sharded", shards=2)
+        want = db.run_reference(plan)
+        assert report.rows == len(want.value)
+        assert report.work == want.work
+        assert report.root.meta["sharded"]["shards"] == 2
+
+    def test_auto_restricts_candidates_on_deep_plans(self):
+        from repro.engine.exec import MAX_PIPELINE_DEPTH
+        from repro.engine.workload import deep_chain_plan
+        from repro.types.values import CVSet, Tup
+
+        deep = deep_chain_plan(
+            random.Random(4), "r", MAX_PIPELINE_DEPTH + 10
+        )
+        relations = {"r": CVSet({Tup((i, i)) for i in range(8)})}
+        report = explain(deep, relations, mode="auto")
+        assert report.decision is not None
+        assert report.decision["mode"] != "compiled"
+        assert "compiled" not in report.decision["scores"]
+
 
 class TestCli:
     def test_explain_text_all_modes(self, capsys):

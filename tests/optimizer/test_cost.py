@@ -1,10 +1,7 @@
 """Tests for cardinality estimation and cost-based plan choice."""
 
-import random
-
 import pytest
 
-from repro.engine.workload import hr_database
 from repro.optimizer.cost import Stats, choose_plan, estimate
 from repro.optimizer.parser import parse_plan
 from repro.optimizer.plan import (
@@ -20,8 +17,8 @@ from repro.optimizer.plan import (
 
 
 @pytest.fixture()
-def db():
-    return hr_database(random.Random(0), employees=40, students=25, overlap=8)
+def db(hr_db):
+    return hr_db(seed=0, employees=40, students=25, overlap=8)
 
 
 @pytest.fixture()

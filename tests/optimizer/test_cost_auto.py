@@ -12,7 +12,7 @@ import random
 
 from repro.engine.database import Database
 from repro.engine.exec import MAX_PIPELINE_DEPTH
-from repro.engine.workload import deep_chain_plan, hr_database
+from repro.engine.workload import deep_chain_plan
 from repro.obs import explain
 from repro.obs.trace import Tracer
 from repro.optimizer.cost import (
@@ -32,9 +32,16 @@ from repro.optimizer.plan import (
 from repro.types.values import CVSet, Tup
 
 
-def _hr(size=40):
-    return hr_database(random.Random(3), employees=size,
-                       students=size // 2, overlap=size // 4)
+import pytest
+
+
+@pytest.fixture()
+def hr(hr_db):
+    """The file's HR workload shape, any size: seed 3, 2:1:0.25 ratio."""
+    def make(size=40):
+        return hr_db(seed=3, employees=size, students=size // 2,
+                     overlap=size // 4)
+    return make
 
 
 HR_PLAN = Project((0,), Difference(Scan("employees"), Scan("students")))
@@ -128,7 +135,10 @@ class TestChooseMode:
     def test_scores_cover_every_candidate(self):
         stats = Stats({"r": 100}, {"r": 2})
         decision = choose_mode(Project((0,), Scan("r")), stats)
-        assert set(decision.scores) == set(MODE_COST)
+        # "sharded" is costed but not a default candidate: the caller
+        # (``Database.plan_mode``) must gate it on partitionability
+        # before offering it.
+        assert set(decision.scores) == set(MODE_COST) - {"sharded"}
         assert decision.scores[decision.mode] == min(
             decision.scores.values()
         )
@@ -157,8 +167,8 @@ class TestChooseMode:
 
 
 class TestDatabaseAuto:
-    def test_auto_matches_reference_results(self):
-        db = _hr()
+    def test_auto_matches_reference_results(self, hr):
+        db = hr()
         auto = db.run(HR_PLAN, use_cache=False, mode="auto")
         reference = db.run_reference(HR_PLAN)
         assert auto.value == reference.value
@@ -177,24 +187,24 @@ class TestDatabaseAuto:
         reference = db.run_reference(plan)
         assert result.value == reference.value
 
-    def test_shallow_plan_keeps_compiled_candidate(self):
-        db = _hr()
+    def test_shallow_plan_keeps_compiled_candidate(self, hr):
+        db = hr()
         assert "compiled" in db.plan_mode(HR_PLAN).scores
         assert (
             deep_chain_plan(random.Random(5), "employees", 1000).children
         )  # sanity: the deep plan above really was the deep case
         assert MAX_PIPELINE_DEPTH < 1000
 
-    def test_decision_memoized_per_generation(self):
-        db = _hr()
+    def test_decision_memoized_per_generation(self, hr):
+        db = hr()
         first = db.plan_mode(HR_PLAN)
         assert db.plan_mode(HR_PLAN) is first  # memo hit
         db.insert("employees", [(999_001, "zz", 9)])
         second = db.plan_mode(HR_PLAN)
         assert second is not first  # mutation invalidated the memo
 
-    def test_current_stats_memoized_per_generation(self):
-        db = _hr()
+    def test_current_stats_memoized_per_generation(self, hr):
+        db = hr()
         first = db.current_stats()
         assert db.current_stats() is first
         db.insert("employees", [(999_002, "zz", 9)])
@@ -204,8 +214,8 @@ class TestDatabaseAuto:
             second.rows["employees"] == first.rows["employees"] + 1
         )
 
-    def test_tracer_surfaces_the_decision(self):
-        db = _hr()
+    def test_tracer_surfaces_the_decision(self, hr):
+        db = hr()
         tracer = Tracer()
         db.run(HR_PLAN, use_cache=False, mode="auto", tracer=tracer)
         meta = tracer.last.meta
@@ -215,16 +225,16 @@ class TestDatabaseAuto:
 
 
 class TestExplainAutoAndCompiled:
-    def test_explain_compiled_mode(self):
-        db = _hr()
+    def test_explain_compiled_mode(self, hr):
+        db = hr()
         report = explain(HR_PLAN, db, mode="compiled", use_cache=False)
         reference = db.run_reference(HR_PLAN)
         assert report.rows == len(reference.value)
         assert report.work == reference.work
         assert report.decision is None
 
-    def test_explain_auto_carries_decision(self):
-        db = _hr()
+    def test_explain_auto_carries_decision(self, hr):
+        db = hr()
         report = explain(HR_PLAN, db, mode="auto", use_cache=False)
         assert report.mode == "auto"
         assert report.decision is not None
@@ -233,10 +243,10 @@ class TestExplainAutoAndCompiled:
         assert "auto: chose" in rendered
         assert report.to_dict()["decision"] == report.decision
 
-    def test_explain_auto_on_plain_mapping(self):
+    def test_explain_auto_on_plain_mapping(self, hr):
         """No Database attached: the decision is derived from a
         snapshot ``Stats`` instead of ``plan_mode``."""
-        db = _hr()
+        db = hr()
         report = explain(HR_PLAN, db.relations, mode="auto")
         assert report.decision is not None
         reference = db.run_reference(HR_PLAN)

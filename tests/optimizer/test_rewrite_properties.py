@@ -48,23 +48,10 @@ plans = st.recursive(
 )
 
 
-def _executable(plan) -> bool:
-    """Filter out plans that project columns a previous projection
-    removed (arity mismatches raise at execution)."""
-    db = hr_database(random.Random(0), employees=3, students=2)
-    try:
-        execute(plan, db.snapshot())
-        return True
-    except (IndexError, TypeError):
-        return False
-
-
 class TestRewriterProperties:
     @given(plans)
     @settings(max_examples=120, deadline=None)
     def test_rewrites_preserve_answers(self, plan):
-        if not _executable(plan):
-            return
         db = hr_database(random.Random(1), employees=8, students=5,
                          overlap=2)
         rewriter = Rewriter(db.catalog)
@@ -74,10 +61,16 @@ class TestRewriterProperties:
                 random.Random(seed), employees=4 + seed, students=3,
                 overlap=seed,
             ).snapshot()
-            assert (
-                execute(plan, snapshot).value
-                == execute(optimized, snapshot).value
-            )
+            try:
+                want = execute(plan, snapshot).value
+            except (IndexError, TypeError):
+                # Generated plans may project columns a previous
+                # projection removed; whether that raises depends on
+                # the snapshot's contents (an empty intermediate never
+                # indexes), so the executability check must be made
+                # per-snapshot — a one-time probe db misclassifies.
+                continue
+            assert want == execute(optimized, snapshot).value
 
     @given(plans)
     @settings(max_examples=120, deadline=None)

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.engine.workload import hr_database, random_database
 from repro.optimizer.plan import (
     Difference,
     Intersect,
@@ -19,8 +18,8 @@ from repro.types.values import Tup
 
 
 @pytest.fixture()
-def db():
-    return hr_database(random.Random(0), employees=12, students=8, overlap=3)
+def db(hr_db):
+    return hr_db(seed=0, employees=12, students=8, overlap=3)
 
 
 def optimize(plan, catalog):
@@ -112,11 +111,10 @@ class TestRuleFiring:
 
 
 class TestEquivalence:
-    def test_all_fired_rewrites_preserve_answers(self, db):
-        rng = random.Random(1)
+    def test_all_fired_rewrites_preserve_answers(self, db, hr_db):
         keyed = [
-            hr_database(random.Random(s), employees=6 + s, students=5,
-                        overlap=2).snapshot()
+            hr_db(seed=s, employees=6 + s, students=5,
+                  overlap=2).snapshot()
             for s in range(8)
         ]
         plans = [
@@ -131,16 +129,14 @@ class TestEquivalence:
             optimized, _rw = optimize(plan, db.catalog)
             assert verify_equivalence(plan, optimized, keyed) is None
 
-    def test_verify_equivalence_catches_difference(self):
+    def test_verify_equivalence_catches_difference(self, random_db):
         a = Scan("R")
         b = Project((0, 1), Difference(Scan("R"), Scan("S")))
-        rng = random.Random(0)
-        dbs = [random_database(rng, ("R", "S")) for _ in range(20)]
+        dbs = [random_db(seed, names=("R", "S")) for seed in range(20)]
         assert verify_equivalence(a, b, dbs) is not None
 
-    def test_verify_equivalence_accepts_identical(self):
-        rng = random.Random(0)
-        dbs = [random_database(rng, ("R",)) for _ in range(5)]
+    def test_verify_equivalence_accepts_identical(self, random_db):
+        dbs = [random_db(seed, names=("R",)) for seed in range(5)]
         assert verify_equivalence(Scan("R"), Scan("R"), dbs) is None
 
 

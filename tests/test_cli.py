@@ -60,6 +60,66 @@ class TestOptimize:
         out = capsys.readouterr().out
         assert "answer (" in out
 
+    def test_schema_error_reported(self, capsys):
+        # Parses fine, but the projection column exceeds the arity.
+        assert main(["optimize", "pi[9](employees)"]) == 2
+        assert "schema error" in capsys.readouterr().err
+
+
+class TestRunDivergence:
+    def test_diverging_experiment_sets_exit_code(self, capsys, monkeypatch):
+        from repro.experiments import registry
+        from repro.experiments.report import ExperimentResult
+
+        fake = ExperimentResult(
+            exp_id="E-2.6", title="t", paper_claim="c",
+            columns=("a",), rows=[(1,)], matches_paper=False,
+        )
+        monkeypatch.setattr(
+            registry, "run_all", lambda ids, jobs=1: [fake]
+        )
+        assert main(["run", "E-2.6"]) == 1
+        captured = capsys.readouterr()
+        assert "MISMATCH" in captured.out
+        assert "diverged from the paper" in captured.err
+
+
+class TestClassifyParallel:
+    def test_jobs_flag_renders_the_serial_text(self, capsys):
+        assert main(["classify", "projection", "--trials", "3"]) == 0
+        serial = capsys.readouterr().out
+        assert (
+            main(["classify", "projection", "--trials", "3", "--jobs", "2"])
+            == 0
+        )
+        assert capsys.readouterr().out == serial
+
+
+class TestChaos:
+    def test_chaos_smoke_exits_clean(self, capsys):
+        assert main(["chaos", "--seeds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "divergences" in out
+
+
+class TestBenchPlumbing:
+    def test_bench_forwards_flags(self, monkeypatch):
+        import repro.bench
+
+        seen = {}
+        monkeypatch.setattr(
+            repro.bench, "main",
+            lambda argv: seen.setdefault("argv", argv) and 0 or 0,
+        )
+        code = main([
+            "bench", "--quick", "--skip-eperf", "--out", "X.json",
+            "--jobs", "3",
+        ])
+        assert code == 0
+        assert seen["argv"] == [
+            "--out", "X.json", "--quick", "--skip-eperf", "--jobs", "3",
+        ]
+
 
 class TestWriteup:
     def test_writeup_to_custom_path(self, tmp_path, capsys):

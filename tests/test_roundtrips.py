@@ -17,6 +17,7 @@ from repro.optimizer.plan import (
     Product as PlanProduct,
     Project,
     Scan,
+    Select,
     Union,
 )
 from repro.types.ast import (
@@ -106,6 +107,23 @@ class TestTermRoundtrip:
 
 relation_names = st.sampled_from(["r", "s", "emp", "t2"])
 
+# Every predicate shape the sigma grammar can print: a 1-based column
+# against an int literal, a string literal, or another column, under
+# each comparator.  ``Select`` equality compares the predicate *name*
+# (the callable is ``field(compare=False)``), so ``parse(str(plan))``
+# reconstructing a fresh lambda still compares equal.  Join and
+# MapNode have no concrete syntax and are round-tripped through the
+# serialization suite instead.
+sigma_predicates = st.builds(
+    lambda col, op, rhs: f"${col}{op}{rhs}",
+    st.integers(min_value=1, max_value=3),
+    st.sampled_from(["=", "<", ">"]),
+    st.one_of(
+        st.integers(min_value=0, max_value=9),
+        st.sampled_from(["'a'", "'zz'", "$1", "$2"]),
+    ),
+)
+
 plans = st.recursive(
     st.builds(Scan, relation_names),
     lambda children: st.one_of(
@@ -118,6 +136,11 @@ plans = st.recursive(
             st.lists(
                 st.integers(min_value=0, max_value=3), min_size=1, max_size=3
             ).map(tuple),
+            children,
+        ),
+        st.builds(
+            lambda name, child: Select(name, lambda t: True, child),
+            sigma_predicates,
             children,
         ),
     ),
