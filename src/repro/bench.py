@@ -2,7 +2,7 @@
 
 Importable as :mod:`repro.bench` (``python -m repro bench``) with
 ``benchmarks/run_bench.py`` kept as a thin path-setting shim.  Writes
-``BENCH_PR9.json`` at the repo root by default.
+``BENCH_PR10.json`` at the repo root by default.
 
 Measurements:
 
@@ -24,6 +24,11 @@ Measurements:
 * **sharded execution** — partition-parallel ``execute_sharded`` vs
   serial streaming on a probe-heavy co-partitioned join, with the
   merged value/work/ledger byte-compared against the serial run;
+* **durability** — the write-ahead-log tax and the recovery path:
+  per-mutation insert latency with the WAL attached (append + commit
+  + apply) vs plain in-memory inserts, on-demand checkpoint cost, and
+  ``recovery_s`` — rebuilding the database from checkpoint + committed
+  log suffix, digest-compared against the live database it replays;
 * **observability** — tracer overhead when enabled (the disabled path
   is the untraced code path every other suite measures), plus cold
   per-operator EXPLAIN breakdowns of the HR plan in every mode;
@@ -311,6 +316,96 @@ def bench_sharded_execution(sizes=(100, 400, 1600), shards: int = 4) -> dict:
     return {"name": "sharded_execution", "rows": rows_out}
 
 
+def bench_durability(sizes=(100, 400, 1600)) -> dict:
+    """WAL write tax + checkpoint cost + ``recovery_s``.
+
+    ``fsync`` is disabled so the numbers measure the engine (record
+    encoding, CRC, commit protocol, replay), not the disk; the write
+    ordering and formats are identical either way, and the recorded
+    flag says so.  The recovered database is digest-compared (contents,
+    generation, fingerprints) against the live one it replays — the
+    latency claim never outruns the correctness claim."""
+    import itertools
+    import shutil
+    import tempfile
+
+    from .durability import DurabilityManager, recover
+    from .engine.serialize import database_to_json
+
+    def digest(db):
+        return (
+            json.dumps(database_to_json(db), sort_keys=True),
+            db._generation,
+            tuple(sorted((n, db.fingerprint(n)) for n in db.relations)),
+        )
+
+    from .engine.database import Database
+
+    rows_out = []
+    for size in sizes:
+        workdir = tempfile.mkdtemp(prefix="bench-durability-")
+        try:
+            state = os.path.join(workdir, "state")
+            live = Database()
+            live.durability = DurabilityManager(state, fsync=False)
+            live.create("r", 2)
+            live.insert("r", [(i, i % 7) for i in range(size)])
+            # Checkpoint the bulk load; the replayed tail is then one
+            # mutation per row — the recovery-dominant shape.
+            live.durability.checkpoint(live)
+            tail = itertools.count(size)
+            for _ in range(size // 4):
+                i = next(tail)
+                live.insert("r", [(i, i % 7)])
+
+            counter = itertools.count(10 * size)
+            wal_insert_s = _time(
+                lambda: live.insert("r", [(next(counter), 0)])
+            )
+            plain = Database()
+            plain.create("r", 2)
+            plain.insert("r", [(i, i % 7) for i in range(size)])
+            plain_counter = itertools.count(10 * size)
+            plain_insert_s = _time(
+                lambda: plain.insert("r", [(next(plain_counter), 0)])
+            )
+            checkpoint_s = _time(lambda: live.durability.checkpoint(live))
+
+            # Rebuild a recovery-shaped directory: snapshot of the bulk
+            # load, WAL tail of size//4 committed single-row inserts.
+            recovery_state = os.path.join(workdir, "recovery")
+            fresh = Database()
+            fresh.durability = DurabilityManager(recovery_state,
+                                                 fsync=False)
+            fresh.create("r", 2)
+            fresh.insert("r", [(i, i % 7) for i in range(size)])
+            fresh.durability.checkpoint(fresh)
+            for j in range(size // 4):
+                fresh.insert("r", [(size + j, j % 7)])
+            fresh.durability.close()
+
+            recovered, report = recover(recovery_state)
+            assert digest(recovered) == digest(fresh)
+            recovery_s = _time(lambda: recover(recovery_state))
+            rows_out.append({
+                "size": size,
+                "repeats": _REPEATS,
+                "fsync": False,
+                "wal_insert_s": wal_insert_s,
+                "plain_insert_s": plain_insert_s,
+                "wal_overhead":
+                    wal_insert_s / max(plain_insert_s, 1e-9),
+                "checkpoint_s": checkpoint_s,
+                "recovery_s": recovery_s,
+                "replayed": report.replayed,
+                "byte_identical": True,  # asserted above, recorded here
+            })
+            live.durability.close()
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return {"name": "durability", "rows": rows_out}
+
+
 def bench_cache_invariance_sweep(repetitions: int = 5) -> dict:
     """The invariance/verification access pattern: a fixed plan set
     re-executed over the same database, many times.
@@ -562,14 +657,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--jobs", type=int, default=0,
                         help="workers for the parallel suites "
                              "(0 = all cores)")
-    parser.add_argument("--out", default="BENCH_PR9.json")
+    parser.add_argument("--out", default="BENCH_PR10.json")
     args = parser.parse_args(argv)
     jobs = args.jobs if args.jobs > 0 else default_jobs()
 
     sizes = (100, 400) if args.quick else (100, 400, 1600)
     results = {
-        "pr": 9,
-        "title": "sharded partition-parallel execution mode",
+        "pr": 10,
+        "title": "write-ahead-logged durability with crash recovery",
         "cpu_count": os.cpu_count(),
         "benchmarks": [],
     }
@@ -579,6 +674,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lambda: bench_hash_join((200, 800) if args.quick
                                 else (200, 800, 2000)),
         lambda: bench_sharded_execution(sizes),
+        lambda: bench_durability(sizes),
         bench_cache_invariance_sweep,
         lambda: bench_interleave(sizes),
         lambda: bench_equivalence_spotcheck(10 if args.quick else 50),
@@ -612,6 +708,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sharded = next(b for b in results["benchmarks"]
                    if b["name"] == "sharded_execution")
     sharded_largest = sharded["rows"][-1]
+    durability = next(b for b in results["benchmarks"]
+                      if b["name"] == "durability")
+    durability_largest = durability["rows"][-1]
     results["acceptance"] = {
         "tracer_overhead_when_enabled": obs["tracer_overhead"],
         "hr_largest_size": largest["size"],
@@ -647,6 +746,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sharded_largest["sharded_speedup"],
         "sharded_byte_identical": all(
             row["byte_identical"] for row in sharded["rows"]
+        ),
+        "durability_largest_size": durability_largest["size"],
+        "durability_wal_insert_overhead_vs_plain":
+            durability_largest["wal_overhead"],
+        "durability_recovery_s": durability_largest["recovery_s"],
+        "durability_byte_identical": all(
+            row["byte_identical"] for row in durability["rows"]
         ),
         "parallel_sweep_jobs": psweep["jobs"],
         "parallel_sweep_speedup": psweep["parallel_speedup"],

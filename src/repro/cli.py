@@ -10,6 +10,7 @@
     python -m repro explain "pi[1](employees - students)" [--mode M]
     python -m repro fuzz --seeds 200 [--jobs N]    # differential fuzz
     python -m repro chaos --seeds 200         # fuzz under injected faults
+    python -m repro recover state/ [--json]   # replay a WAL directory
     python -m repro bench [--out FILE] [--quick]   # benchmark suites
     python -m repro writeup [path]            # regenerate EXPERIMENTS.md
 
@@ -19,6 +20,12 @@ activity, index/bulk shortcuts, wall time) for one executor mode
 (including ``compiled`` and cost-model-driven ``auto``) or all of them
 side by side; ``--json`` emits the same trees as JSON and
 ``--warm N`` pre-runs the plan N times so cache hits show up.
+
+``recover`` rebuilds a database from a write-ahead-logged durability
+directory (checkpoint + committed WAL suffix; see
+:mod:`repro.durability`) and prints the recovery report with its span
+tree; ``explain --wal DIR`` and ``optimize --wal DIR`` run their plan
+against a recovered database instead of the demo HR one.
 
 ``classify`` accepts the named operations of the built-in catalog;
 ``optimize`` runs the rewriter against the demo HR catalog and prints
@@ -136,8 +143,16 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     except PlanParseError as error:
         print(f"parse error: {error}", file=sys.stderr)
         return 2
-    db = hr_database(random.Random(args.seed), employees=args.size,
-                     students=args.size * 2 // 3, overlap=args.size // 4)
+    if args.wal:
+        from .durability import recover
+
+        db, recovery = recover(args.wal)
+        print(recovery.summary())
+        print()
+    else:
+        db = hr_database(random.Random(args.seed), employees=args.size,
+                         students=args.size * 2 // 3,
+                         overlap=args.size // 4)
     from .optimizer.schema_infer import SchemaInferenceError, infer_arity
 
     try:
@@ -174,8 +189,15 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     except PlanParseError as error:
         print(f"parse error: {error}", file=sys.stderr)
         return 2
-    db = hr_database(random.Random(args.seed), employees=args.size,
-                     students=args.size * 2 // 3, overlap=args.size // 4)
+    recovery = None
+    if args.wal:
+        from .durability import recover
+
+        db, recovery = recover(args.wal)
+    else:
+        db = hr_database(random.Random(args.seed), employees=args.size,
+                         students=args.size * 2 // 3,
+                         overlap=args.size // 4)
     from .optimizer.schema_infer import SchemaInferenceError, infer_arity
 
     try:
@@ -190,8 +212,18 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         explain(plan, db, mode=mode, shards=args.shards) for mode in modes
     ]
     if args.json:
-        print(json.dumps([r.to_dict() for r in reports], indent=2))
+        explains = [r.to_dict() for r in reports]
+        if recovery is not None:
+            print(json.dumps(
+                {"recovery": recovery.to_dict(), "explains": explains},
+                indent=2,
+            ))
+        else:
+            print(json.dumps(explains, indent=2))
         return 0
+    if recovery is not None:
+        print(recovery.render())
+        print()
     for i, report in enumerate(reports):
         if i:
             print()
@@ -224,6 +256,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     )
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import json
+
+    from .durability import recover
+    from .engine.serialize import SerializeError, save_database
+
+    try:
+        db, report = recover(args.directory)
+    except (OSError, SerializeError) as error:
+        print(f"recover failed: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.dump:
+        save_database(db, args.dump)
+        if not args.json:
+            print(f"recovered snapshot written to {args.dump}")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -282,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     optimize_parser.add_argument("--size", type=int, default=60)
     optimize_parser.add_argument("--seed", type=int, default=0)
     optimize_parser.add_argument("--show-rows", type=int, default=0)
+    optimize_parser.add_argument(
+        "--wal", default=None, metavar="DIR",
+        help="run against a database recovered from this durability "
+        "directory instead of the demo HR db",
+    )
     optimize_parser.set_defaults(fn=_cmd_optimize)
 
     explain_parser = sub.add_parser(
@@ -313,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     explain_parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of text"
+    )
+    explain_parser.add_argument(
+        "--wal", default=None, metavar="DIR",
+        help="explain against a database recovered from this "
+        "durability directory (prints the recovery report first)",
     )
     explain_parser.set_defaults(fn=_cmd_explain)
 
@@ -349,12 +413,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos_parser.set_defaults(fn=_cmd_chaos)
 
+    recover_parser = sub.add_parser(
+        "recover",
+        help="rebuild a database from a WAL durability directory "
+        "(checkpoint + committed log suffix) and print the report",
+    )
+    recover_parser.add_argument(
+        "directory", help="durability directory (wal.jsonl + checkpoint)"
+    )
+    recover_parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    recover_parser.add_argument(
+        "--dump", default=None, metavar="FILE",
+        help="also save the recovered database snapshot to FILE",
+    )
+    recover_parser.set_defaults(fn=_cmd_recover)
+
     bench_parser = sub.add_parser(
         "bench", help="run the benchmark suites and write a BENCH json"
     )
     bench_parser.add_argument(
-        "--out", default="BENCH_PR9.json",
-        help="output path (default: BENCH_PR9.json)",
+        "--out", default="BENCH_PR10.json",
+        help="output path (default: BENCH_PR10.json)",
     )
     bench_parser.add_argument(
         "--quick", action="store_true",

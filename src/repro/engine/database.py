@@ -108,6 +108,11 @@ class Database:
         #: Optional :class:`~repro.robustness.faults.FaultInjector`;
         #: see the ``fault_injector`` property.
         self._fault_injector = None
+        #: Optional :class:`~repro.durability.DurabilityManager`; see
+        #: the ``durability`` property.  When attached, every mutation
+        #: is written (and committed) to the write-ahead log *before*
+        #: it takes effect in memory.
+        self._durability = None
 
     def create(
         self,
@@ -117,14 +122,21 @@ class Database:
         shared_keys: Optional[dict[tuple[int, ...], str]] = None,
     ) -> None:
         """Declare a relation schema."""
-        self.catalog.add(
-            RelationInfo(
-                name,
-                arity,
-                tuple(tuple(k) for k in keys),
-                dict(shared_keys or {}),
-            )
+        info = RelationInfo(
+            name,
+            arity,
+            tuple(tuple(k) for k in keys),
+            dict(shared_keys or {}),
         )
+        if self._durability is not None:
+            # Log-before-apply; ``create`` does not bump the mutation
+            # generation, so the logged post-apply generation is the
+            # current one.
+            self._durability.log_create(
+                name, info.arity, info.keys, info.shared_keys,
+                self._generation,
+            )
+        self.catalog.add(info)
         if name not in self.relations:
             self.relations[name] = CVSet()
             # Seed the width cache with the declared arity: computing
@@ -133,6 +145,8 @@ class Database:
             # batch/compiled executors' O(1) count*width accounting
             # for the relation's whole life.
             self._widths[name] = arity
+        if self._durability is not None:
+            self._durability.mutation_applied(self)
 
     def insert(self, name: str, rows: Iterable[Sequence[Value]]) -> None:
         """Insert rows, validating arity and declared keys.
@@ -158,6 +172,16 @@ class Database:
         new_rows = [t for t in tuples if t not in current]
         if not new_rows:
             return
+        if self._durability is not None:
+            # Log-before-apply, and only after validation passed: the
+            # WAL carries exactly the effective delta (``new_rows``,
+            # not the raw batch), so replaying it from the same base
+            # state re-creates the identical relation *and* the
+            # identical generation bump.  A logging failure (real I/O
+            # or an injected ``durability`` fault) aborts here, before
+            # any in-memory state changed — the mutation atomically
+            # never happened, matching what recovery will say.
+            self._durability.log_insert(name, new_rows, self._generation + 1)
         self.relations[name] = current.union(CVSet(new_rows))
         # Maintain this relation's live indexes incrementally; other
         # relations' indexes are never even iterated.
@@ -201,6 +225,8 @@ class Database:
         # the rest (and all compiled artifacts for this relation)
         # invalidate exactly as before.  See engine/exec/delta.py.
         self.plan_cache.maintain(name, new_rows, self.relations)
+        if self._durability is not None:
+            self._durability.mutation_applied(self)
 
     def _validate_key_batch(
         self, name: str, key: Sequence[int], tuples: Sequence[Tup]
@@ -451,8 +477,17 @@ class Database:
         return self.relations[name]
 
     def __setitem__(self, name: str, relation: CVSet) -> None:
+        if self._durability is not None:
+            # Wholesale replacement bumps the generation (via
+            # ``_invalidate_relation``), so the logged post-apply
+            # generation is one ahead.
+            self._durability.log_replace(
+                name, relation, self._generation + 1
+            )
         self.relations[name] = relation
         self._invalidate_relation(name)
+        if self._durability is not None:
+            self._durability.mutation_applied(self)
 
     def __contains__(self, name: str) -> bool:
         return name in self.relations
@@ -483,6 +518,43 @@ class Database:
     def fault_injector(self, injector) -> None:
         self._fault_injector = injector
         self.plan_cache.fault_injector = injector
+
+    @property
+    def durability(self):
+        """Optional :class:`~repro.durability.DurabilityManager`.
+
+        When attached, ``create``/``insert``/``__setitem__`` append a
+        committed record to the write-ahead log *before* mutating any
+        in-memory state (see docs/ROBUSTNESS.md, "Durability and crash
+        recovery"); :func:`repro.durability.recover` rebuilds the
+        database from the manager's directory after a crash.  Assign
+        ``None`` to detach (mutations stop being logged).
+
+        Attaching to a database that already holds relations publishes
+        an immediate checkpoint: the WAL replays over the last
+        snapshot (or an empty database), so pre-attach state that only
+        exists in memory would otherwise be unrecoverable — replay
+        would hit inserts into relations the base never created."""
+        return self._durability
+
+    @durability.setter
+    def durability(self, manager) -> None:
+        self._durability = manager
+        if manager is not None and self.relations:
+            manager.checkpoint(self)
+
+    def _restore_generation(self, generation: int) -> None:
+        """Pin the mutation generation to a recovered value.
+
+        Rebuilding a snapshot replays inserts, each bumping the
+        counter; recovery must land on the *original* database's
+        generation or every generation-derived memo would disagree.
+        The stats/mode memos are dropped — they were keyed by the
+        rebuild-time counter, and a recovered database recomputes them
+        from (identical) content on first use."""
+        self._generation = generation
+        self._stats_memo = None
+        self._mode_memo.clear()
 
     def _run_mode(
         self, plan: Plan, mode: str, use_cache: bool, tracer,

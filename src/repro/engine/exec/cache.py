@@ -462,6 +462,7 @@ class PlanCache:
             "maintained": self.maintained,
             "maintain_fallback": self.maintain_fallback,
             "entries": len(self._entries),
+            "views": len(self._views),
             "capacity": self.capacity,
         }
 

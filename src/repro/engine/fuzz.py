@@ -463,6 +463,72 @@ def _scenario_mutation(rng: random.Random, check: _Checker) -> None:
         )
 
 
+def _scenario_durability(rng: random.Random, check: _Checker) -> None:
+    """Crash-recovery differential: a WAL-attached database, mutated
+    and (maybe) checkpointed, must recover to the live database's
+    exact contents, fingerprints and generation — and a plan run on
+    the recovered database must match the live reference answer."""
+    import tempfile
+
+    from ..durability import DurabilityManager, recover
+    from .serialize import database_to_json
+
+    with tempfile.TemporaryDirectory() as directory:
+        live = Database(cache_capacity=16)
+        live.durability = DurabilityManager(
+            directory,
+            fsync=False,
+            checkpoint_every=rng.choice((None, 2)),
+        )
+        for name in _NAMES:
+            live.create(name, 2)
+            live.insert(
+                name,
+                {
+                    (rng.randrange(6), rng.randrange(6))
+                    for _ in range(rng.randint(1, 6))
+                },
+            )
+        for _ in range(rng.randint(1, 3)):
+            victim = rng.choice(_NAMES)
+            if rng.random() < 0.8:
+                live.insert(
+                    victim,
+                    [(rng.randrange(6), rng.randrange(6))
+                     for _ in range(rng.randint(1, 3))],
+                )
+            else:
+                live[victim] = CVSet(
+                    Tup((rng.randrange(6), rng.randrange(6)))
+                    for _ in range(rng.randint(0, 5))
+                )
+        recovered, _report = recover(directory)
+        check._check(
+            "recover-content",
+            database_to_json(recovered) == database_to_json(live),
+            "recovered contents differ from the live database",
+        )
+        check._check(
+            "recover-generation",
+            recovered._generation == live._generation,
+            f"recovered generation {recovered._generation} != "
+            f"live {live._generation}",
+        )
+        check._check(
+            "recover-fingerprints",
+            all(
+                recovered.fingerprint(name) == live.fingerprint(name)
+                for name in live.relations
+            ),
+            "recovered fingerprints differ from the live database",
+        )
+        for _ in range(2):
+            plan = random_plan(rng, _NAMES, depth=rng.randint(1, 3))
+            check._compare(
+                "recover-plan", recovered.run(plan), live.run_reference(plan)
+            )
+
+
 def _scenario_delta(rng: random.Random, check: _Checker) -> None:
     """Insert/query interleavings vs semi-naive cache maintenance.
 
@@ -683,6 +749,7 @@ SCENARIOS: dict[str, Callable[[random.Random, _Checker], None]] = {
     "alias": _scenario_alias,
     "mutation": _scenario_mutation,
     "delta": _scenario_delta,
+    "durability": _scenario_durability,
     "compiled": _scenario_compiled,
     "sharded": _scenario_sharded,
     "trace": _scenario_trace,

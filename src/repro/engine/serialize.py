@@ -14,15 +14,30 @@ encoded as tagged nodes::
 A :class:`~repro.engine.database.Database` serializes to a dict of
 relations plus its schema catalog, enabling save/load of experiment
 workloads.
+
+Error contract: every malformed input — undecodable JSON, an unknown
+value tag, a bag entry that is not a ``[value, count]`` pair, a schema
+whose arity is missing or non-integral, a row violating its declared
+arity or key — raises :class:`SerializeError`, never a bare
+``KeyError``/``TypeError``/``ValueError``.  Callers get one exception
+type to catch for "these bytes are not a database".
+
+Write contract: :func:`save_database` (and the durability subsystem's
+checkpoints, via :func:`atomic_write_text`) publishes atomically —
+same-directory temp file, flush + fsync, ``os.replace`` — so a crash
+mid-save can truncate only the temp file, never the snapshot a reader
+will open.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from ..types.values import CVBag, CVList, CVSet, Tup, Value, is_atom
-from .database import Database
+from .database import Database, SchemaError
 
 __all__ = [
     "value_to_json",
@@ -31,6 +46,7 @@ __all__ = [
     "database_from_json",
     "save_database",
     "load_database",
+    "atomic_write_text",
     "SerializeError",
 ]
 
@@ -61,6 +77,15 @@ def value_to_json(v: Value) -> Any:
     raise SerializeError(f"not a complex value: {v!r}")
 
 
+def _tagged_items(data: dict, tag: str) -> list:
+    items = data[tag]
+    if not isinstance(items, list):
+        raise SerializeError(
+            f"malformed {tag!r} payload: expected a list, got {items!r}"
+        )
+    return items
+
+
 def value_from_json(data: Any) -> Value:
     """Decode the tagged representation back to a complex value."""
     if isinstance(data, (int, float, str)) and not isinstance(data, bool):
@@ -69,16 +94,29 @@ def value_from_json(data: Any) -> Value:
         if set(data) == {"b"}:
             return bool(data["b"])
         if set(data) == {"t"}:
-            return Tup(value_from_json(x) for x in data["t"])
+            return Tup(value_from_json(x) for x in _tagged_items(data, "t"))
         if set(data) == {"s"}:
-            return CVSet(value_from_json(x) for x in data["s"])
+            return CVSet(value_from_json(x) for x in _tagged_items(data, "s"))
         if set(data) == {"l"}:
-            return CVList(value_from_json(x) for x in data["l"])
+            return CVList(
+                value_from_json(x) for x in _tagged_items(data, "l")
+            )
         if set(data) == {"m"}:
             items = []
-            for entry in data["m"]:
+            for entry in _tagged_items(data, "m"):
+                if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+                    raise SerializeError(f"malformed bag entry: {entry!r}")
                 value, count = entry
-                items.extend([value_from_json(value)] * int(count))
+                if (
+                    not isinstance(count, int)
+                    or isinstance(count, bool)
+                    or count < 0
+                ):
+                    raise SerializeError(
+                        f"bag multiplicity must be a non-negative int, "
+                        f"got {count!r}"
+                    )
+                items.extend([value_from_json(value)] * count)
             return CVBag(items)
     raise SerializeError(f"malformed value payload: {data!r}")
 
@@ -102,35 +140,129 @@ def database_to_json(db: Database) -> dict:
     return {"relations": relations, "schema": schema}
 
 
-def database_from_json(data: dict) -> Database:
-    """Rebuild a database (relations validated against the schema)."""
-    db = Database()
-    for name, info in data.get("schema", {}).items():
-        db.create(
-            name,
-            info["arity"],
-            keys=[tuple(k) for k in info.get("keys", [])],
-            shared_keys={
+def _schema_from_json(db: Database, schema: Any) -> None:
+    if not isinstance(schema, dict):
+        raise SerializeError(
+            f"schema must be an object, got {type(schema).__name__}"
+        )
+    for name, info in schema.items():
+        if not isinstance(info, dict):
+            raise SerializeError(f"malformed schema for {name!r}: {info!r}")
+        try:
+            arity = info["arity"]
+        except KeyError:
+            raise SerializeError(
+                f"schema for {name!r} is missing its arity"
+            ) from None
+        if not isinstance(arity, int) or isinstance(arity, bool) or arity < 0:
+            raise SerializeError(
+                f"schema arity for {name!r} must be a non-negative int, "
+                f"got {arity!r}"
+            )
+        try:
+            keys = [tuple(k) for k in info.get("keys", [])]
+            shared_keys = {
                 tuple(entry["columns"]): entry["group"]
                 for entry in info.get("shared_keys", [])
-            },
+            }
+        except (KeyError, TypeError) as exc:
+            raise SerializeError(
+                f"malformed schema for {name!r}: {exc!r}"
+            ) from None
+        db.create(name, arity, keys=keys, shared_keys=shared_keys)
+
+
+def database_from_json(data: Any) -> Database:
+    """Rebuild a database (relations validated against the schema).
+
+    Every malformed payload raises :class:`SerializeError` — including
+    rows that violate the schema they arrived with (arity mismatches,
+    duplicate keys), which are a *serialization* problem here: the
+    bytes disagree with themselves.
+    """
+    if not isinstance(data, dict):
+        raise SerializeError(
+            f"database payload must be an object, "
+            f"got {type(data).__name__}"
         )
-    for name, rows in data.get("relations", {}).items():
+    db = Database()
+    _schema_from_json(db, data.get("schema", {}))
+    relations = data.get("relations", {})
+    if not isinstance(relations, dict):
+        raise SerializeError(
+            f"relations must be an object, got {type(relations).__name__}"
+        )
+    for name, rows in relations.items():
+        if not isinstance(rows, list):
+            raise SerializeError(
+                f"relation {name!r} must be a list of rows, got {rows!r}"
+            )
         decoded = [value_from_json(row) for row in rows]
         if name in db.catalog:
-            db.insert(name, [tuple(t) for t in decoded])
+            try:
+                tuples = [tuple(t) for t in decoded]
+            except TypeError:
+                raise SerializeError(
+                    f"relation {name!r} contains a non-tuple row"
+                ) from None
+            try:
+                db.insert(name, tuples)
+            except SchemaError as exc:
+                raise SerializeError(
+                    f"relation {name!r} violates its schema: {exc}"
+                ) from None
         else:
             db[name] = CVSet(decoded)
     return db
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Crash-safe file publication: write a same-directory temp file,
+    flush + fsync it, then ``os.replace`` onto ``path``.
+
+    Readers see either the old contents or the complete new contents,
+    never a truncation — ``os.replace`` is atomic on POSIX and the
+    fsync ensures the bytes hit disk before the name does.  The temp
+    file lives in the target's directory because ``os.replace`` across
+    filesystems is not atomic (it degrades to copy+delete).
+    """
+    target = os.path.abspath(os.fspath(path))
+    directory = os.path.dirname(target)
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(target) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_database(db: Database, path: str) -> None:
-    """Write the database to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(database_to_json(db), handle, indent=1, sort_keys=True)
+    """Write the database to a JSON file (atomically; see
+    :func:`atomic_write_text`)."""
+    atomic_write_text(
+        path, json.dumps(database_to_json(db), indent=1, sort_keys=True)
+    )
 
 
 def load_database(path: str) -> Database:
-    """Read a database from a JSON file."""
+    """Read a database from a JSON file.
+
+    Raises :class:`SerializeError` for any malformed contents (invalid
+    JSON included); I/O errors (missing file, permissions) propagate
+    as ``OSError`` — they are environmental, not a format problem.
+    """
     with open(path) as handle:
-        return database_from_json(json.load(handle))
+        try:
+            data = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise SerializeError(f"malformed database file: {exc}") from None
+    return database_from_json(data)

@@ -22,6 +22,19 @@ scenario: :func:`~repro.parallel.parallel_map` under a seeded
 merged output is byte-identical to the serial path both through the
 bounded retry and through the in-parent serial fallback.
 
+Every seed additionally plays a **recovery** scenario against the
+durability subsystem (:mod:`repro.durability`): a scripted mutation
+sequence runs through a WAL-attached database (under drawn
+``durability`` fault rates — torn appends, silent bit flips, failed
+fsyncs, crashes between commit and apply), then the resulting log is
+crash-truncated at *every record boundary* plus a sampled set of
+intra-record byte offsets, and each truncation is recovered and
+checked against the golden prefixes: a recovered database must be
+content-, fingerprint- and generation-identical to one that applied
+some prefix of the committed mutations in-process.  A deliberate
+mid-record bit flip is recovered the same way — the CRC must stop the
+replay at the corruption, still yielding a committed prefix.
+
 Determinism: everything — database contents, plans, fault rates, which
 draws fire — derives from ``(base_seed, seed)``, so a chaos failure
 always reproduces under the same arguments.
@@ -31,13 +44,20 @@ CLI: ``python -m repro chaos --seeds N`` (see :mod:`repro.cli`).
 
 from __future__ import annotations
 
+import json
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 
+from ..durability import WAL_NAME, DurabilityManager, recover
 from ..engine.database import Database
+from ..engine.serialize import database_to_json
 from ..engine.workload import derive_rng, random_database, random_plan
 from ..obs.metrics import REGISTRY
 from ..parallel import parallel_map
-from .faults import FaultInjector, FaultPlan, WorkerCrash
+from ..types.values import CVSet, Tup
+from .faults import FaultInjector, FaultPlan, InjectedFault, WorkerCrash
 
 __all__ = ["ChaosReport", "run_chaos"]
 
@@ -75,6 +95,8 @@ class ChaosReport:
     corruptions_caught: int = 0
     maintenance_fallbacks: int = 0
     crash_scenarios: int = 0
+    recovery_scenarios: int = 0
+    recovery_points: int = 0
     divergences: list = field(default_factory=list)
     escapes: list = field(default_factory=list)
 
@@ -93,6 +115,8 @@ class ChaosReport:
             f"  degradations: {self.degradations}, "
             f"cache corruptions caught: {self.corruptions_caught}, "
             f"maintenance fallbacks: {self.maintenance_fallbacks}",
+            f"  recovery: {self.recovery_scenarios} scenario(s), "
+            f"{self.recovery_points} crash point(s) recovered",
         ]
         if self.ok:
             lines.append("  zero semantic divergences, zero escapes")
@@ -218,6 +242,176 @@ def _check_seed(report: ChaosReport, base_seed: int, seed: int) -> None:
         report.injected[site] = report.injected.get(site, 0) + count
 
 
+def _recovery_digest(db: Database) -> tuple:
+    """Everything recovery must get byte-identical: relation contents
+    + schema (canonical JSON), the mutation generation (which keys the
+    stats/mode memos), and every relation fingerprint (which keys the
+    plan-result cache)."""
+    return (
+        json.dumps(database_to_json(db), sort_keys=True),
+        db._generation,
+        tuple(
+            sorted((name, db.fingerprint(name)) for name in db.relations)
+        ),
+    )
+
+
+def _random_mutation_script(rng) -> tuple[dict, list]:
+    """Deterministic base contents + a short mutation script, drawn up
+    front so the golden (in-process) and WAL-attached runs replay the
+    exact same sequence."""
+    base_rows = {
+        name: sorted(
+            {(rng.randrange(5), rng.randrange(5))
+             for _ in range(rng.randint(1, 4))}
+        )
+        for name in _NAMES
+    }
+    ops: list = []
+    for i in range(rng.randint(3, 6)):
+        kind = rng.randrange(6)
+        if kind == 0:
+            ops.append(("create", f"u{i}", 2))
+        elif kind == 1:
+            name = rng.choice(_NAMES)
+            ops.append((
+                "replace", name,
+                [(rng.randrange(5), rng.randrange(5))
+                 for _ in range(rng.randint(1, 3))],
+            ))
+        else:
+            name = rng.choice(_NAMES)
+            ops.append((
+                "insert", name,
+                [(rng.randrange(9), rng.randrange(9))
+                 for _ in range(rng.randint(1, 3))],
+            ))
+    return base_rows, ops
+
+
+def _apply_op(db: Database, op: tuple) -> None:
+    kind, name = op[0], op[1]
+    if kind == "create":
+        db.create(name, op[2])
+    elif kind == "insert":
+        db.insert(name, op[2])
+    else:
+        db[name] = CVSet(Tup(row) for row in op[2])
+
+
+def _check_recovery(report: ChaosReport, base_seed: int, seed: int) -> None:
+    """The crash-recovery differential: every truncation point of the
+    WAL must recover to *some prefix* of the committed mutations."""
+    rng = derive_rng("chaos-recovery", base_seed, seed)
+    base_rows, ops = _random_mutation_script(rng)
+
+    def build_base() -> Database:
+        db = Database(cache_capacity=32)
+        for name in _NAMES:
+            db.create(name, 2)
+            db.insert(name, base_rows[name])
+        return db
+
+    # Golden prefixes: digest after applying ops[:k] in-process, for
+    # every k.  Any crash point must recover to one of these.
+    shadow = build_base()
+    golden = [_recovery_digest(shadow)]
+    for op in ops:
+        _apply_op(shadow, op)
+        golden.append(_recovery_digest(shadow))
+    golden_set = set(golden)
+    report.recovery_scenarios += 1
+
+    injector = FaultInjector(FaultPlan(
+        seed=derive_rng("chaos-recovery-rates", base_seed, seed)
+        .randrange(2**31),
+        durability_rate=rng.choice(_RATES),
+    ))
+    with tempfile.TemporaryDirectory() as workdir:
+        state_dir = os.path.join(workdir, "state")
+        live = build_base()
+        # Attaching durability *after* the base build auto-checkpoints
+        # it: the base state is the snapshot and the script is the
+        # log — the same split a long-lived database would have.
+        live.durability = DurabilityManager(
+            state_dir,
+            fsync=False,
+            checkpoint_every=rng.choice((None, None, 2)),
+            fault_injector=injector,
+        )
+        for op in ops:
+            try:
+                _apply_op(live, op)
+            except InjectedFault:
+                break  # the simulated crash: the process is "dead"
+            except Exception as exc:  # noqa: BLE001 — escapes are the finding
+                report.escapes.append(ChaosFailure(
+                    seed, "escape", "recovery",
+                    f"{type(exc).__name__}: {exc}",
+                ))
+                return
+
+        wal_path = os.path.join(state_dir, WAL_NAME)
+        with open(wal_path, "rb") as handle:
+            data = handle.read()
+
+        # Crash points: every record boundary (including the empty log
+        # and the full log) plus sampled intra-record byte offsets.
+        offsets = {0, len(data)}
+        offsets.update(
+            i + 1 for i, byte in enumerate(data) if byte == 0x0A
+        )
+        if data:
+            offsets.update(
+                rng.sample(range(len(data)), min(6, len(data)))
+            )
+
+        scratch = os.path.join(workdir, "crash")
+        os.makedirs(scratch)
+        checkpoint_src = os.path.join(state_dir, "checkpoint.json")
+        if os.path.exists(checkpoint_src):
+            shutil.copy(checkpoint_src, scratch)
+
+        def check_recovered(tag: str, wal_bytes: bytes) -> None:
+            with open(os.path.join(scratch, WAL_NAME), "wb") as handle:
+                handle.write(wal_bytes)
+            report.checks += 1
+            report.recovery_points += 1
+            try:
+                recovered, _ = recover(scratch)
+            except Exception as exc:  # noqa: BLE001 — escapes are the finding
+                report.escapes.append(ChaosFailure(
+                    seed, "escape", "recovery",
+                    f"{tag}: {type(exc).__name__}: {exc}",
+                ))
+                return
+            if _recovery_digest(recovered) not in golden_set:
+                report.divergences.append(ChaosFailure(
+                    seed, "divergence", "recovery",
+                    f"{tag}: recovered database matches no committed "
+                    f"prefix (gen {recovered._generation})",
+                ))
+
+        for offset in sorted(offsets):
+            check_recovered(f"truncate@{offset}", data[:offset])
+
+        # A mid-record bit flip (media corruption, not truncation):
+        # the CRC must end the readable prefix at the flip, still
+        # yielding a committed prefix.
+        if data:
+            flip_at = rng.randrange(len(data))
+            if data[flip_at] != 0x0A:  # keep the framing, break the CRC
+                flipped = (
+                    data[:flip_at]
+                    + bytes([data[flip_at] ^ 0x20])
+                    + data[flip_at + 1:]
+                )
+                check_recovered(f"bitflip@{flip_at}", flipped)
+
+    for site, count in injector.injected.items():
+        report.injected[site] = report.injected.get(site, 0) + count
+
+
 def _square_shift(x: int) -> int:
     """Top-level (picklable) worker for the crash scenario."""
     return x * x + 7
@@ -279,6 +473,7 @@ def run_chaos(
     before = REGISTRY.snapshot().get("counters", {})
     for seed in range(seeds):
         _check_seed(report, base_seed, seed)
+        _check_recovery(report, base_seed, seed)
         if crash_every > 0 and seed % crash_every == crash_every - 1:
             _check_worker_crash(report, base_seed, seed)
     after = REGISTRY.snapshot().get("counters", {})

@@ -4,8 +4,9 @@
 The engine's core invariant is four-way executor parity (value, work,
 ledger).  This module supplies the *adversary* for that invariant: a
 seeded, reproducible source of component failures threaded through the
-executors, the :class:`~repro.engine.exec.cache.PlanCache`, and the
-parallel harness via optional hooks.  Six fault sites:
+executors, the :class:`~repro.engine.exec.cache.PlanCache`, the
+write-ahead log, and the parallel harness via optional hooks.  Seven
+fault sites:
 
 * ``"operator"`` — a physical operator raises mid-execution (streaming
   and batch executors draw once per compiled operator; the compiled
@@ -25,7 +26,16 @@ parallel harness via optional hooks.  Six fault sites:
 * ``"shard"`` — a shard worker is lost mid-shard (drawn once per shard,
   in shard order, before ``execute_sharded`` dispatches the partition);
   the fault escapes into ``Database.run``'s sharded degradation chain
-  (``sharded -> batch -> stream -> reference``).
+  (``sharded -> batch -> stream -> reference``);
+* ``"durability"`` — the write-ahead log misbehaves: an append is torn
+  mid-record (a crash during the write — only a byte prefix reaches
+  disk), a full record is silently bit-flipped in place (media
+  corruption the per-record CRC must catch at scan time), an fsync
+  fails (the mutation must abort *before* any in-memory change), or
+  the process "dies" between the commit marker and the in-memory
+  apply (recovery must replay the committed record).  See
+  :meth:`FaultInjector.tamper_wal_line` and
+  :mod:`repro.durability.wal`.
 
 Determinism: every draw comes from one ``random.Random`` seeded from
 the plan, in execution order.  Executor traversal order is itself
@@ -57,6 +67,7 @@ __all__ = [
 #: Fault sites an injector understands, in documentation order.
 FAULT_SITES = (
     "operator", "cache", "compile", "worker", "maintenance", "shard",
+    "durability",
 )
 
 
@@ -95,6 +106,7 @@ class FaultPlan:
     worker_rate: float = 0.0
     maintenance_rate: float = 0.0
     shard_rate: float = 0.0
+    durability_rate: float = 0.0
 
     def rate_for(self, site: str) -> float:
         if site not in FAULT_SITES:
@@ -167,6 +179,41 @@ class FaultInjector:
             entry.entries + (("__corrupt__", 1),), entry.relations,
             entry.seal,
         )
+
+    def tamper_wal_line(self, line: bytes) -> tuple[bytes, "str | None"]:
+        """Corrupt one encoded WAL record (``durability`` site).
+
+        Returns ``(bytes_to_write, crash_label)``.  Three shapes,
+        chosen by the seeded rng:
+
+        * **truncate-at-byte-k** — only a prefix of the record reaches
+          disk and the writer "crashes" (``crash_label`` is set; the
+          WAL raises :class:`InjectedFault` after writing).  Recovery
+          must drop the torn tail;
+        * **torn record** — a prefix plus garbage bytes, no
+          terminating newline, then the crash.  Same requirement,
+          nastier bytes;
+        * **bit flip** — a full-length record with one byte flipped,
+          written *silently* (no crash, the writer carries on).  The
+          per-record CRC must catch it at scan time, ending the
+          readable prefix there.
+
+        The final newline byte is never the flip target — corrupting
+        the framing alone would only split the line, which the decoder
+        already rejects; flipping content exercises the CRC.
+        """
+        if not self._fire("durability"):
+            return line, None
+        body = max(1, len(line) - 1)  # keep off the trailing newline
+        shape = self._rng.randrange(3)
+        if shape == 0:
+            return line[: self._rng.randrange(body)], "torn-write"
+        if shape == 1:
+            k = self._rng.randrange(body)
+            return line[:k] + b"\x00\xffgarbage", "torn-record"
+        i = self._rng.randrange(body)
+        flipped = bytes([line[i] ^ 0x40])
+        return line[:i] + flipped + line[i + 1 :], None
 
     def total_injected(self) -> int:
         return sum(self.injected.values())

@@ -120,6 +120,7 @@ class TestStats:
             "maintained": 0,
             "maintain_fallback": 0,
             "entries": 1,
+            "views": 0,
             "capacity": 256,
         }
         cache.reset_stats()

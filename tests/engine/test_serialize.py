@@ -136,15 +136,15 @@ class TestDatabaseRoundtrip:
         assert rebuilt["free"] == cvset(tup(1, 2))
 
     def test_key_violation_detected_on_load(self):
-        # Tampered payload violating a declared key is rejected.
+        # Tampered payload violating a declared key is rejected — as a
+        # SerializeError: the bytes disagree with their own schema, so
+        # callers catch one exception type for "not a database".
         db = Database()
         db.create("k", 2, keys=[(0,)])
         db.insert("k", [(1, "a")])
         payload = database_to_json(db)
         payload["relations"]["k"].append(value_to_json(tup(1, "b")))
-        from repro.engine.database import SchemaError
-
-        with pytest.raises(SchemaError):
+        with pytest.raises(SerializeError):
             database_from_json(payload)
 
 
@@ -202,3 +202,154 @@ class TestDatabaseRoundtripProperty:
             assert got.value == want.value
             assert got.work == want.work
             assert got.per_node == want.per_node
+
+
+# Malformed payloads that must raise SerializeError — never a bare
+# KeyError/TypeError/ValueError.  One entry per distinct failure shape.
+MALFORMED_VALUE_PAYLOADS = (
+    {"x": 1},                        # unknown tag
+    {"t": 1, "s": 2},                # multiple tags
+    {"t": 5},                        # tuple items not a list
+    {"s": "abc"},                    # set items not a list
+    {"l": {"a": 1}},                 # list items not a list
+    {"m": 5},                        # bag entries not a list
+    {"m": [[1]]},                    # bag entry not a pair
+    {"m": [[1, 2, 3]]},              # bag entry too long
+    {"m": [[1, "two"]]},             # non-int multiplicity
+    {"m": [[1, 1.5]]},               # float multiplicity
+    {"m": [[1, -1]]},                # negative multiplicity
+    {"m": [[1, True]]},              # bool multiplicity
+    None,                            # not a value at all
+    [1, 2],                          # bare list is not an encoding
+)
+
+MALFORMED_DATABASE_PAYLOADS = (
+    ["not", "a", "dict"],                                  # not an object
+    {"schema": ["r"]},                                     # schema not a dict
+    {"schema": {"r": "two"}},                              # info not a dict
+    {"schema": {"r": {}}},                                 # arity missing
+    {"schema": {"r": {"arity": "2"}}},                     # arity not an int
+    {"schema": {"r": {"arity": True}}},                    # bool arity
+    {"schema": {"r": {"arity": -1}}},                      # negative arity
+    {"schema": {"r": {"arity": 2, "keys": 5}}},            # keys not a list
+    {"schema": {"r": {"arity": 2,
+                      "shared_keys": [{"columns": [0]}]}}},  # group missing
+    {"relations": "r"},                                    # relations not a dict
+    {"relations": {"r": {"t": [1]}}},                      # rows not a list
+    {"schema": {"r": {"arity": 2}},
+     "relations": {"r": [{"t": [1]}]}},                    # arity mismatch
+    {"schema": {"r": {"arity": 2}},
+     "relations": {"r": [5]}},                             # atom row in schema'd relation
+    {"relations": {"r": [{"q": []}]}},                     # unknown value kind
+)
+
+
+class TestMalformedInputs:
+    """Satellite: every malformed input raises SerializeError."""
+
+    @pytest.mark.parametrize("payload", MALFORMED_VALUE_PAYLOADS,
+                             ids=[repr(p) for p in MALFORMED_VALUE_PAYLOADS])
+    def test_malformed_value_payloads(self, payload):
+        with pytest.raises(SerializeError):
+            value_from_json(payload)
+
+    @pytest.mark.parametrize(
+        "payload", MALFORMED_DATABASE_PAYLOADS,
+        ids=[json.dumps(p, sort_keys=True)[:60]
+             for p in MALFORMED_DATABASE_PAYLOADS])
+    def test_malformed_database_payloads(self, payload):
+        with pytest.raises(SerializeError):
+            database_from_json(payload)
+
+    def test_invalid_json_file_raises_serialize_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text('{"relations": {"r": [')
+        with pytest.raises(SerializeError):
+            load_database(str(path))
+
+    def test_truncated_valid_json_raises_serialize_error(self, tmp_path):
+        # Valid JSON that is not a database payload (the shape a
+        # pre-atomic-save crash could have left behind).
+        path = tmp_path / "half.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SerializeError):
+            load_database(str(path))
+
+    def test_missing_file_stays_oserror(self, tmp_path):
+        # Environmental problems are not format problems.
+        with pytest.raises(OSError):
+            load_database(str(tmp_path / "absent.json"))
+
+
+class TestAtomicSave:
+    """Satellite: save_database publishes atomically."""
+
+    def test_failure_between_write_and_replace_preserves_old(
+        self, tmp_path, monkeypatch
+    ):
+        import os as os_module
+
+        db = Database()
+        db.create("r", 2)
+        db.insert("r", [(1, 2)])
+        path = tmp_path / "db.json"
+        save_database(db, str(path))
+        before = path.read_text()
+
+        db.insert("r", [(3, 4)])
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash between write and replace")
+
+        monkeypatch.setattr(os_module, "os_replace_never", None,
+                            raising=False)
+        monkeypatch.setattr("os.replace", exploding_replace)
+        with pytest.raises(OSError, match="injected crash"):
+            save_database(db, str(path))
+        monkeypatch.undo()
+
+        # The published snapshot is byte-for-byte the old one, and the
+        # failed attempt's temp file was cleaned up.
+        assert path.read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["db.json"]
+        assert load_database(str(path)).relations == {
+            "r": CVSet([Tup((1, 2))])
+        }
+
+    def test_save_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        order = []
+        real_fsync = os_module.fsync
+        real_replace = os_module.replace
+        monkeypatch.setattr(
+            "os.fsync", lambda fd: (order.append("fsync"), real_fsync(fd))[1]
+        )
+        monkeypatch.setattr(
+            "os.replace",
+            lambda s, d: (order.append("replace"), real_replace(s, d))[1],
+        )
+        db = Database()
+        db.create("r", 1)
+        save_database(db, str(tmp_path / "db.json"))
+        assert "fsync" in order and "replace" in order
+        assert order.index("fsync") < order.index("replace")
+
+    def test_temp_file_written_to_same_directory(self, tmp_path, monkeypatch):
+        # os.replace is only atomic within one filesystem; the temp
+        # file must be a sibling of the target.
+        import os as os_module
+
+        seen = {}
+        real_replace = os_module.replace
+
+        def spying_replace(src, dst):
+            seen["src_dir"] = os_module.path.dirname(src)
+            seen["dst_dir"] = os_module.path.dirname(dst)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("os.replace", spying_replace)
+        db = Database()
+        db.create("r", 1)
+        save_database(db, str(tmp_path / "db.json"))
+        assert seen["src_dir"] == seen["dst_dir"]

@@ -42,3 +42,9 @@ class TestRunChaos:
         )
         assert not clean.ok
         assert "DIVERGENCE" in clean.summary()
+
+    def test_recovery_scenario_runs_every_seed(self):
+        report = run_chaos(4, crash_every=0)
+        assert report.recovery_scenarios == 4
+        assert report.recovery_points > 0
+        assert "recovery:" in report.summary()

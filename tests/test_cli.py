@@ -135,3 +135,82 @@ class TestParser:
         parser = build_parser()
         args = parser.parse_args(["list"])
         assert args.command == "list"
+
+
+class TestRecover:
+    def _seed_state(self, tmp_path):
+        from repro.durability import DurabilityManager
+        from repro.engine.database import Database
+
+        state = str(tmp_path / "state")
+        db = Database()
+        db.durability = DurabilityManager(state, fsync=False)
+        db.create("employees", 3)
+        db.insert("employees", [(1, "ada", "d0"), (2, "bob", "d1")])
+        db.create("students", 3)
+        db.insert("students", [(2, "bob", "d1")])
+        db.durability.close()
+        return state
+
+    def test_recover_prints_report_and_spans(self, tmp_path, capsys):
+        state = self._seed_state(tmp_path)
+        assert main(["recover", state]) == 0
+        out = capsys.readouterr().out
+        assert "4 replayed" in out
+        assert "recover" in out and "replay" in out  # span tree
+
+    def test_recover_json_and_dump(self, tmp_path, capsys):
+        import json
+
+        from repro.engine.serialize import load_database
+        from repro.types.values import cvset, tup
+
+        state = self._seed_state(tmp_path)
+        dump = str(tmp_path / "snapshot.json")
+        assert main(["recover", state, "--json", "--dump", dump]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["replayed"] == 4
+        assert load_database(dump)["students"] == cvset(
+            tup(2, "bob", "d1")
+        )
+
+    def test_recover_missing_checkpoint_dir_is_empty_db(
+        self, tmp_path, capsys
+    ):
+        assert main(["recover", str(tmp_path / "nothing")]) == 0
+        assert "checkpoint: none" in capsys.readouterr().out
+
+    def test_explain_wal_runs_against_recovered_db(self, tmp_path, capsys):
+        state = self._seed_state(tmp_path)
+        code = main([
+            "explain", "pi[1](employees - students)",
+            "--mode", "stream", "--wal", state,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recover" in out  # recovery report leads
+        assert "EXPLAIN ANALYZE" in out
+        assert "rows=1" in out  # ada is the only non-student
+
+    def test_explain_wal_json_carries_the_recovery(self, tmp_path, capsys):
+        import json
+
+        state = self._seed_state(tmp_path)
+        code = main([
+            "explain", "employees", "--mode", "stream",
+            "--wal", state, "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recovery"]["replayed"] == 4
+        assert payload["explains"][0]["mode"] == "stream"
+
+    def test_optimize_wal(self, tmp_path, capsys):
+        state = self._seed_state(tmp_path)
+        code = main([
+            "optimize", "pi[1](employees - students)", "--wal", state,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recover" in out
+        assert "answer (1 rows" in out
